@@ -1,0 +1,77 @@
+// Command dashsim streams a DASH video over a simulated two-path MPTCP
+// connection and prints the per-chunk log plus session summary — the §5.2
+// workload as a standalone tool.
+//
+// Example:
+//
+//	dashsim -wifi 0.3 -lte 8.6 -sched ecf -video 240
+//	dashsim -wifi 4.2 -lte 8.6 -sched minrtt -abr bba -chunks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dash"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		wifi     = flag.Float64("wifi", 8.6, "WiFi bandwidth in Mbps")
+		lte      = flag.Float64("lte", 8.6, "LTE bandwidth in Mbps")
+		schedFlg = flag.String("sched", "ecf", fmt.Sprintf("scheduler %v", sched.Names()))
+		video    = flag.Float64("video", 120, "video length in seconds")
+		abrFlg   = flag.String("abr", "bba", "ABR algorithm: bba, rate")
+		chunks   = flag.Bool("chunks", false, "print the per-chunk log")
+	)
+	flag.Parse()
+
+	var abr dash.ABR
+	switch *abrFlg {
+	case "bba":
+		abr = dash.NewBBAABR()
+	case "rate":
+		abr = dash.NewRateABR()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown abr %q (bba|rate)\n", *abrFlg)
+		os.Exit(2)
+	}
+
+	net := core.NewNetwork(core.DefaultPaths(*wifi, *lte))
+	conn := net.NewConn(core.ConnOptions{Scheduler: *schedFlg})
+	player := dash.NewPlayer(net.Engine(), conn, dash.PlayerConfig{
+		VideoSeconds: *video,
+		ABR:          abr,
+	})
+	var res *dash.Result
+	player.Start(func(r *dash.Result) { res = r })
+	net.RunAll()
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "stream did not complete")
+		os.Exit(1)
+	}
+
+	if *chunks {
+		fmt.Println("chunk  rep     Mbps(enc)  Mbps(meas)  start(s)  done(s)")
+		for _, c := range res.Chunks {
+			fmt.Printf("%5d  %-6s %9.2f  %10.2f  %8.2f  %7.2f\n",
+				c.Index, c.Rep.Name, c.Rep.Mbps, c.ThroughputMbps,
+				c.RequestedAt.Seconds(), c.CompletedAt.Seconds())
+		}
+	}
+
+	ideal := dash.IdealBitrateMbps(*wifi+*lte, dash.StandardLadder)
+	fmt.Printf("scheduler=%s wifi=%.1f lte=%.1f video=%.0fs abr=%s\n", *schedFlg, *wifi, *lte, *video, *abrFlg)
+	fmt.Printf("avg bitrate:    %.2f Mbps (ideal %.2f, ratio %.2f)\n",
+		res.AvgBitrateMbps(), ideal, res.AvgBitrateMbps()/ideal)
+	fmt.Printf("avg throughput: %.2f Mbps per chunk\n", res.AvgThroughputMbps())
+	fmt.Printf("rebuffers:      %d (stalled %.1fs)\n", res.Rebuffers, res.StallTime.Seconds())
+	var iw int64
+	for _, sf := range conn.Subflows() {
+		iw += sf.Stats().IWResets
+	}
+	fmt.Printf("IW resets:      %d\n", iw)
+}

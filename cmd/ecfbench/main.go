@@ -1,0 +1,114 @@
+// Command ecfbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ecfbench -list
+//	ecfbench -exp fig9
+//	ecfbench -exp table3 -scale quick
+//	ecfbench -exp all
+//
+// Each experiment prints the same rows/series the paper reports
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// experiment is a named, runnable paper artifact.
+type experiment struct {
+	name string
+	desc string
+	run  func(sc experiments.Scale) fmt.Stringer
+}
+
+var catalog = []experiment{
+	{"table1", "video bit rates vs. resolution", func(experiments.Scale) fmt.Stringer { return experiments.Table1() }},
+	{"table2", "avg RTT with bandwidth regulation", func(experiments.Scale) fmt.Stringer { return experiments.Table2() }},
+	{"table3", "# of IW resets per scheduler (0.3/8.6)", func(sc experiments.Scale) fmt.Stringer { return experiments.Table3(sc) }},
+	{"table4", "wild web browsing averages", func(sc experiments.Scale) fmt.Stringer { return experiments.Table4(sc) }},
+	{"fig1", "ON-OFF download pattern", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure1(sc) }},
+	{"fig2", "default-scheduler bitrate-ratio heat map", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure2(sc) }},
+	{"fig3", "send-buffer occupancy trace (0.3/8.6)", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure3(sc) }},
+	{"fig5", "CDF of last-packet time differences", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure5(sc) }},
+	{"fig6", "throughput with/without CWND reset", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure6(sc) }},
+	{"fig7", "traffic split, default vs ideal", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure7(sc) }},
+	{"fig9", "bitrate-ratio heat maps for 4 schedulers", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure9(sc) }},
+	{"fig10", "traffic split: BLEST vs ECF vs ideal", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure10(sc) }},
+	{"fig11", "WiFi CWND traces per scheduler", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure11(sc) }},
+	{"fig12", "LTE CWND traces per scheduler", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure12(sc) }},
+	{"fig13", "OOO-delay CCDF, default scheduler", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure13(sc) }},
+	{"fig14", "OOO-delay CCDF per scheduler", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure14(sc) }},
+	{"fig15", "four-subflow bitrate ratios", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure15(sc) }},
+	{"fig16", "random bandwidth-change throughput", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure16(sc) }},
+	{"fig17", "per-chunk throughput trace", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure17(sc) }},
+	{"fig18", "wget completion times", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure18(sc) }},
+	{"fig19", "ECF/default wget ratio heat maps", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure19(sc) }},
+	{"fig20", "web object completion-time CCDFs", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure20(sc) }},
+	{"fig21", "web browsing OOO-delay CCDFs", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure21(sc) }},
+	{"fig22", "wild streaming: RTTs and throughput", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure22(sc) }},
+	{"fig23", "wild web: completion and OOO CCDFs", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure23(sc) }},
+}
+
+func main() {
+	var (
+		expName = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
+		scale   = flag.String("scale", "full", "scale profile: full or quick")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *expName == "" {
+		names := make([]string, 0, len(catalog))
+		for _, e := range catalog {
+			names = append(names, fmt.Sprintf("  %-7s %s", e.name, e.desc))
+		}
+		sort.Strings(names)
+		fmt.Println("available experiments (-exp <name> | all):")
+		fmt.Println(strings.Join(names, "\n"))
+		if *expName == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.Full
+	case "quick":
+		sc = experiments.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (full|quick)\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(e experiment) {
+		start := time.Now()
+		out := e.run(sc)
+		fmt.Printf("=== %s (%s) — %v ===\n%s\n", e.name, e.desc, time.Since(start).Round(time.Millisecond), out)
+	}
+
+	if *expName == "all" {
+		for _, e := range catalog {
+			run(e)
+		}
+		return
+	}
+	for _, e := range catalog {
+		if e.name == *expName {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expName)
+	os.Exit(2)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "ECF: An MPTCP Path
+// Scheduler to Manage Heterogeneous Paths" (Lim, Nahum, Towsley, Gibbens
+// — CoNEXT 2017).
+//
+// The library builds every layer the paper's evaluation rests on — a
+// discrete-event network simulator, packet-level TCP subflows with
+// coupled congestion control, the MPTCP connection layer with
+// opportunistic retransmission and penalization, the ECF scheduler and
+// its baselines (default minimum-RTT, BLEST, DAPS), a DASH streaming
+// stack and web workloads — plus a benchmark harness (bench_test.go and
+// cmd/ecfbench) that regenerates every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,37 @@
+// Filedownload: the paper's §5.4 wget workload — single-object downloads
+// across a bandwidth sweep, default vs ECF.
+//
+//	go run ./examples/filedownload
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+func main() {
+	sizes := []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	fmt.Println("wget download completion time (s), WiFi = 1 Mbps")
+	fmt.Println("size    LTE(Mbps)  default  ecf      speedup")
+
+	for _, size := range sizes {
+		for _, lte := range []float64{2, 5, 10} {
+			var dur [2]float64
+			for i, schedName := range []string{"minrtt", "ecf"} {
+				net := core.NewNetwork(core.DefaultPaths(1, lte))
+				conn := net.NewConn(core.ConnOptions{Scheduler: schedName})
+				web.Download(conn, size, func(o web.ObjectResult) {
+					dur[i] = o.Duration().Seconds()
+				})
+				net.RunAll()
+			}
+			fmt.Printf("%4dKB  %9.0f  %7.3f  %7.3f  %6.1f%%\n",
+				size>>10, lte, dur[0], dur[1], 100*(1-dur[1]/dur[0]))
+		}
+	}
+	fmt.Println("\nSingle-object downloads barely separate the schedulers (paper Fig 18/19:")
+	fmt.Println("parity at small sizes, up to ~20% ECF wins at 512 KB+ on their testbed;")
+	fmt.Println("this substrate lands at parity — see EXPERIMENTS.md).")
+}

@@ -1,0 +1,99 @@
+package cc
+
+import "math"
+
+// BALIA is the Balanced Linked Adaptation controller (Peng, Walid, Hwang,
+// Low — IEEE/ACM ToN 2016), the third coupled controller shipped in the
+// MPTCP kernel alongside LIA and OLIA. Per ACK of n segments on path r:
+//
+//	x_r = w_r / rtt_r
+//	α_r = max_p(x_p) / x_r
+//	w_r += n · x_r / (rtt_r · (Σ_p x_p)²) · (1+α_r)/2 · (4+α_r)/5
+//
+// and on loss:
+//
+//	w_r ← w_r − w_r/2 · min(α_r, 1.5)/2
+//
+// BALIA balances the LIA/OLIA trade-off between friendliness and
+// responsiveness; it is included for the congestion-control ablation.
+type BALIA struct {
+	flows []Flow
+}
+
+// NewBALIA returns an empty BALIA controller.
+func NewBALIA() *BALIA { return &BALIA{} }
+
+// Name implements Controller.
+func (*BALIA) Name() string { return "balia" }
+
+// Register implements Controller.
+func (c *BALIA) Register(f Flow) { c.flows = append(c.flows, f) }
+
+// Unregister implements Controller.
+func (c *BALIA) Unregister(f Flow) {
+	for i, ff := range c.flows {
+		if ff == f {
+			c.flows = append(c.flows[:i], c.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// rates returns x_r for every flow plus the maximum.
+func (c *BALIA) rates() (xs map[Flow]float64, sum, max float64) {
+	xs = make(map[Flow]float64, len(c.flows))
+	for _, f := range c.flows {
+		x := f.Cwnd() / rttOf(f)
+		xs[f] = x
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	return xs, sum, max
+}
+
+// OnAck implements the BALIA increase.
+func (c *BALIA) OnAck(f Flow, n int) {
+	xs, sum, max := c.rates()
+	x := xs[f]
+	if x <= 0 || sum <= 0 {
+		// Degenerate state: behave like Reno.
+		w := f.Cwnd()
+		if w < 1 {
+			w = 1
+		}
+		f.SetCwnd(w + float64(n)/w)
+		return
+	}
+	alpha := max / x
+	rtt := rttOf(f)
+	inc := float64(n) * x / (rtt * sum * sum) * (1 + alpha) / 2 * (4 + alpha) / 5
+	if renoInc := float64(n) / f.Cwnd(); inc > renoInc {
+		inc = renoInc
+	}
+	if inc < 0 || math.IsNaN(inc) {
+		inc = 0
+	}
+	f.SetCwnd(f.Cwnd() + inc)
+}
+
+// OnLoss implements the BALIA decrease.
+func (c *BALIA) OnLoss(f Flow) {
+	xs, _, max := c.rates()
+	x := xs[f]
+	alpha := 1.0
+	if x > 0 {
+		alpha = max / x
+	}
+	if alpha > 1.5 {
+		alpha = 1.5
+	}
+	w := f.Cwnd()
+	nw := w - w/2*alpha/2
+	if nw < minCwnd {
+		nw = minCwnd
+	}
+	f.SetSsthresh(nw)
+	f.SetCwnd(nw)
+}

@@ -1,0 +1,99 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBALIAName(t *testing.T) {
+	if NewBALIA().Name() != "balia" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestBALIAIncreaseBoundedByReno(t *testing.T) {
+	b := NewBALIA()
+	a := &fakeFlow{cwnd: 10, srtt: 0.05}
+	c := &fakeFlow{cwnd: 40, srtt: 0.2}
+	b.Register(a)
+	b.Register(c)
+	before := a.cwnd
+	b.OnAck(a, 1)
+	inc := a.cwnd - before
+	if inc <= 0 {
+		t.Fatalf("increase = %v, want positive", inc)
+	}
+	if inc > 1.0/before+1e-12 {
+		t.Fatalf("increase %v exceeds Reno bound %v", inc, 1.0/before)
+	}
+}
+
+func TestBALIALossScalesWithImbalance(t *testing.T) {
+	// The flow with the max rate (α=1) gets the full w/4 decrease; a
+	// slower flow (α capped at 1.5) decreases more sharply relative to
+	// its window.
+	b := NewBALIA()
+	fast := &fakeFlow{cwnd: 40, srtt: 0.05} // x = 800
+	slow := &fakeFlow{cwnd: 10, srtt: 0.2}  // x = 50, α capped 1.5
+	b.Register(fast)
+	b.Register(slow)
+	b.OnLoss(fast)
+	// fast: 40 - 20·(1/2) = 30.
+	if fast.cwnd < 29 || fast.cwnd > 31 {
+		t.Fatalf("fast cwnd after loss = %v, want ~30", fast.cwnd)
+	}
+	b.OnLoss(slow)
+	// slow: 10 - 5·(1.5/2) = 6.25.
+	if slow.cwnd < 6 || slow.cwnd > 6.5 {
+		t.Fatalf("slow cwnd after loss = %v, want ~6.25", slow.cwnd)
+	}
+}
+
+func TestBALIALossFloor(t *testing.T) {
+	b := NewBALIA()
+	f := &fakeFlow{cwnd: 2.2, srtt: 0.1}
+	b.Register(f)
+	b.OnLoss(f)
+	if f.cwnd < minCwnd {
+		t.Fatalf("cwnd = %v below floor", f.cwnd)
+	}
+}
+
+func TestBALIAZeroRTTSafe(t *testing.T) {
+	b := NewBALIA()
+	f := &fakeFlow{cwnd: 10, srtt: 0}
+	b.Register(f)
+	b.OnAck(f, 1)
+	if f.cwnd != f.cwnd || f.cwnd < 10 {
+		t.Fatalf("cwnd = %v with zero rtt", f.cwnd)
+	}
+}
+
+func TestBALIAUnregister(t *testing.T) {
+	b := NewBALIA()
+	a := &fakeFlow{cwnd: 10, srtt: 0.1}
+	c := &fakeFlow{cwnd: 10, srtt: 0.1}
+	b.Register(a)
+	b.Register(c)
+	b.Unregister(c)
+	before := a.cwnd
+	b.OnAck(a, 1)
+	if a.cwnd <= before {
+		t.Fatal("no growth after unregister")
+	}
+}
+
+func TestBALIAIncreaseNeverNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(w1, w2 uint8, r1, r2 uint8) bool {
+		b := NewBALIA()
+		a := &fakeFlow{cwnd: float64(w1%100) + 1, srtt: float64(int(r1)%300+1) / 1000}
+		c := &fakeFlow{cwnd: float64(w2%100) + 1, srtt: float64(int(r2)%300+1) / 1000}
+		b.Register(a)
+		b.Register(c)
+		before := a.cwnd
+		b.OnAck(a, 1)
+		return a.cwnd >= before && a.cwnd == a.cwnd
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package cc
+
+// OLIA is the "Opportunistic Linked Increases Algorithm" (Khalili et al.,
+// CoNEXT'12), the alternative coupled controller the paper mentions
+// alongside the default. Per ACK of n segments on path r:
+//
+//	w_r += n · ( (w_r/rtt_r²) / (Σ_p w_p/rtt_p)²  +  α_r/w_r )
+//
+// where α_r shifts traffic toward "best" paths (largest ℓ̂²/rtt, with ℓ̂
+// the inter-loss transfer estimate) that do not already hold the largest
+// window. We estimate ℓ̂ by counting segments acknowledged since the last
+// loss on each path, as the kernel implementation does.
+type OLIA struct {
+	flows []Flow
+	acked map[Flow]float64 // segments acked since last loss (ℓ̂ estimate)
+}
+
+// NewOLIA returns an empty OLIA controller.
+func NewOLIA() *OLIA { return &OLIA{acked: make(map[Flow]float64)} }
+
+// Name implements Controller.
+func (*OLIA) Name() string { return "olia" }
+
+// Register implements Controller.
+func (c *OLIA) Register(f Flow) {
+	c.flows = append(c.flows, f)
+	c.acked[f] = 0
+}
+
+// Unregister implements Controller.
+func (c *OLIA) Unregister(f Flow) {
+	for i, ff := range c.flows {
+		if ff == f {
+			c.flows = append(c.flows[:i], c.flows[i+1:]...)
+			delete(c.acked, f)
+			return
+		}
+	}
+}
+
+func rttOf(f Flow) float64 {
+	rtt := f.SrttSeconds()
+	if rtt <= 0 {
+		rtt = 0.1
+	}
+	return rtt
+}
+
+// classify partitions flows into M (max window) and B ("best" quality by
+// ℓ̂²/rtt). Ties include every tied flow.
+func (c *OLIA) classify() (maxW []Flow, best []Flow) {
+	var wMax, qMax float64
+	for _, f := range c.flows {
+		if f.Cwnd() > wMax {
+			wMax = f.Cwnd()
+		}
+		if q := c.quality(f); q > qMax {
+			qMax = q
+		}
+	}
+	for _, f := range c.flows {
+		if f.Cwnd() >= wMax*0.999 {
+			maxW = append(maxW, f)
+		}
+		if c.quality(f) >= qMax*0.999 {
+			best = append(best, f)
+		}
+	}
+	return maxW, best
+}
+
+// quality is the ℓ̂²/rtt path-quality metric.
+func (c *OLIA) quality(f Flow) float64 {
+	l := c.acked[f] + 1
+	return l * l / rttOf(f)
+}
+
+func contains(fs []Flow, f Flow) bool {
+	for _, ff := range fs {
+		if ff == f {
+			return true
+		}
+	}
+	return false
+}
+
+// OnAck implements the OLIA increase.
+func (c *OLIA) OnAck(f Flow, n int) {
+	c.acked[f] += float64(n)
+
+	var denom float64
+	for _, ff := range c.flows {
+		denom += ff.Cwnd() / rttOf(ff)
+	}
+	if denom <= 0 {
+		denom = 1
+	}
+	w := f.Cwnd()
+	if w <= 0 {
+		w = 1
+	}
+	rtt := rttOf(f)
+	// Base term: (w/rtt²)/denom², already a per-ACK window increment in
+	// segment units.
+	base := (w / (rtt * rtt)) / (denom * denom)
+
+	var alpha float64
+	nPaths := float64(len(c.flows))
+	maxW, best := c.classify()
+	var collectedBest []Flow // B \ M
+	for _, ff := range best {
+		if !contains(maxW, ff) {
+			collectedBest = append(collectedBest, ff)
+		}
+	}
+	if len(collectedBest) > 0 && nPaths > 0 {
+		switch {
+		case contains(collectedBest, f):
+			alpha = 1 / (nPaths * float64(len(collectedBest)))
+		case contains(maxW, f):
+			alpha = -1 / (nPaths * float64(len(maxW)))
+		}
+	}
+
+	inc := float64(n) * (base + alpha/w)
+	if renoInc := float64(n) / w; inc > renoInc {
+		inc = renoInc // never more aggressive than Reno
+	}
+	if inc < 0 {
+		inc = 0 // a window never shrinks on an ACK
+	}
+	f.SetCwnd(w + inc)
+}
+
+// OnLoss halves the window and resets the inter-loss estimate.
+func (c *OLIA) OnLoss(f Flow) {
+	c.acked[f] = 0
+	halve(f)
+}

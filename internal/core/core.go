@@ -1,0 +1,214 @@
+// Package core is the public facade of the reproduction: it assembles
+// network paths, MPTCP connections, congestion control and a path
+// scheduler into a runnable simulation. Examples, command-line tools and
+// the experiment drivers all build on this package.
+//
+// A minimal session:
+//
+//	net := core.NewNetwork(core.DefaultPaths(8.6, 8.6))
+//	conn := net.NewConn(core.ConnOptions{Scheduler: "ecf"})
+//	conn.Request(1<<20, func(tr *mptcp.Transfer) { ... })
+//	net.Run(30 * time.Second)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/mptcp"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// PathSpec describes one network path (one interface pair).
+type PathSpec struct {
+	// Name labels the path ("wifi", "lte").
+	Name string
+	// RateMbps is the forward bandwidth in megabits per second.
+	RateMbps float64
+	// BaseRTT is the zero-load round-trip time; each direction gets half
+	// as propagation delay.
+	BaseRTT time.Duration
+	// QueueBytes sizes the bottleneck buffer. Zero selects 48 KiB, which
+	// calibrates the RTT-vs-bandwidth inflation to the paper's Table 2
+	// (about one second of queueing at 0.3 Mbps).
+	QueueBytes int
+	// LossRate is i.i.d. forward loss probability.
+	LossRate float64
+	// Seed perturbs the loss process (experiment repetitions vary it).
+	Seed uint64
+	// ReverseRateMbps overrides the ACK-direction rate (zero: same as
+	// forward).
+	ReverseRateMbps float64
+}
+
+// DefaultQueueBytes is the bottleneck buffer used when PathSpec leaves
+// QueueBytes zero. 48 KiB at 0.3 Mbps is ~1.3 s of queueing when full,
+// matching the bufferbloat the paper measures on its slowest setting.
+const DefaultQueueBytes = 48 * 1024
+
+// WiFiBaseRTT and LTEBaseRTT are the zero-load RTTs used by the standard
+// two-path topology; they are calibrated so that measured RTTs under load
+// approximate the paper's Table 2 (WiFi 40 ms, LTE 105 ms at 8.6 Mbps).
+const (
+	WiFiBaseRTT = 20 * time.Millisecond
+	LTEBaseRTT  = 80 * time.Millisecond
+)
+
+// DefaultPaths returns the paper's standard two-path topology: WiFi
+// (primary) and LTE with the given forward bandwidths in Mbps.
+func DefaultPaths(wifiMbps, lteMbps float64) []PathSpec {
+	return []PathSpec{
+		{Name: "wifi", RateMbps: wifiMbps, BaseRTT: WiFiBaseRTT},
+		{Name: "lte", RateMbps: lteMbps, BaseRTT: LTEBaseRTT},
+	}
+}
+
+// pathPort bundles a path with its shared demultiplexers.
+type pathPort struct {
+	path *netsim.Path
+	fwd  *netsim.Demux
+	rev  *netsim.Demux
+}
+
+// Network is a simulated topology shared by any number of MPTCP
+// connections.
+type Network struct {
+	eng    *sim.Engine
+	ports  []pathPort
+	nextID int
+}
+
+// NewNetwork builds the topology on a fresh simulation engine.
+func NewNetwork(specs []PathSpec) *Network {
+	eng := sim.New()
+	n := &Network{eng: eng}
+	for i, s := range specs {
+		q := s.QueueBytes
+		if q <= 0 {
+			q = DefaultQueueBytes
+		}
+		p := netsim.NewPath(eng, netsim.PathConfig{
+			Name:           s.Name,
+			RateBps:        s.RateMbps * 1e6,
+			ReverseRateBps: s.ReverseRateMbps * 1e6,
+			Delay:          s.BaseRTT / 2,
+			QueueBytes:     q,
+			LossRate:       s.LossRate,
+			Seed:           s.Seed + uint64(i) + 1,
+		})
+		fwd := netsim.NewDemux()
+		rev := netsim.NewDemux()
+		p.SetForwardReceiver(fwd.OnPacket)
+		p.SetReverseReceiver(rev.OnPacket)
+		n.ports = append(n.ports, pathPort{path: p, fwd: fwd, rev: rev})
+	}
+	return n
+}
+
+// Engine exposes the simulation engine (for timers and custom events).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Paths returns the underlying paths in spec order.
+func (n *Network) Paths() []*netsim.Path {
+	out := make([]*netsim.Path, len(n.ports))
+	for i, p := range n.ports {
+		out[i] = p.path
+	}
+	return out
+}
+
+// SetRateMbps changes a path's forward bandwidth mid-run (the §5.3
+// variable-bandwidth scenarios).
+func (n *Network) SetRateMbps(pathIdx int, mbps float64) {
+	n.ports[pathIdx].path.SetRateBps(mbps * 1e6)
+}
+
+// Run advances the simulation until the given virtual time.
+func (n *Network) Run(until time.Duration) { n.eng.RunUntil(until) }
+
+// RunAll drains every pending event.
+func (n *Network) RunAll() { n.eng.Run() }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.eng.Now() }
+
+// ConnOptions parameterizes NewConn.
+type ConnOptions struct {
+	// Scheduler is a registered scheduler name ("minrtt", "ecf",
+	// "blest", "daps", ...). Empty selects "minrtt".
+	Scheduler string
+	// SchedulerInstance overrides Scheduler with a concrete instance
+	// (used by ablations that tweak scheduler parameters).
+	SchedulerInstance mptcp.Scheduler
+	// CongestionControl is "lia" (default), "olia" or "reno".
+	CongestionControl string
+	// SubflowsPerPath creates this many subflows over each path
+	// (default 1; §5.2.5 uses 2).
+	SubflowsPerPath int
+	// Config overrides the mptcp defaults. Zero-valued fields keep the
+	// DefaultConfig behaviour; the ID is assigned by the network.
+	Config *mptcp.Config
+}
+
+// NewConn creates an MPTCP connection with one (or more) subflows over
+// every network path.
+func (n *Network) NewConn(opts ConnOptions) *mptcp.Conn {
+	id := n.nextID
+	n.nextID++
+
+	cfg := mptcp.DefaultConfig(id)
+	if opts.Config != nil {
+		cfg = *opts.Config
+		cfg.ID = id
+	}
+
+	var ctrl cc.Controller
+	switch opts.CongestionControl {
+	case "", "lia":
+		ctrl = cc.NewLIA()
+	case "olia":
+		ctrl = cc.NewOLIA()
+	case "balia":
+		ctrl = cc.NewBALIA()
+	case "reno":
+		ctrl = cc.NewReno()
+	default:
+		panic(fmt.Sprintf("core: unknown congestion control %q", opts.CongestionControl))
+	}
+
+	conn := mptcp.NewConn(n.eng, cfg, ctrl)
+
+	var schedr mptcp.Scheduler
+	if opts.SchedulerInstance != nil {
+		schedr = opts.SchedulerInstance
+	} else {
+		name := opts.Scheduler
+		if name == "" {
+			name = "minrtt"
+		}
+		f, err := sched.Factory(name)
+		if err != nil {
+			panic(err)
+		}
+		schedr = f()
+	}
+	conn.SetScheduler(schedr)
+
+	per := opts.SubflowsPerPath
+	if per <= 0 {
+		per = 1
+	}
+	for rep := 0; rep < per; rep++ {
+		for _, port := range n.ports {
+			name := port.path.Name()
+			if per > 1 {
+				name = fmt.Sprintf("%s#%d", name, rep)
+			}
+			conn.AddSubflow(name, port.path, port.fwd, port.rev)
+		}
+	}
+	return conn
+}

@@ -1,0 +1,91 @@
+package dash
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// playerWithHistory builds a bare player carrying synthetic chunk
+// telemetry for ABR unit tests.
+func playerWithHistory(buffer float64, throughputs ...float64) *Player {
+	p := &Player{cfg: PlayerConfig{Ladder: StandardLadder, MaxBufferSec: 30}}
+	p.bufferSec = buffer
+	for i, tp := range throughputs {
+		p.result.Chunks = append(p.result.Chunks, ChunkRecord{Index: i, ThroughputMbps: tp})
+	}
+	return p
+}
+
+func TestRateABRFirstChunkConservative(t *testing.T) {
+	a := NewRateABR()
+	p := playerWithHistory(0)
+	if idx := a.Choose(p); idx != 0 {
+		t.Fatalf("first chunk index = %d, want 0 (lowest)", idx)
+	}
+}
+
+func TestRateABRTracksThroughput(t *testing.T) {
+	a := NewRateABR()
+	p := playerWithHistory(20, 10, 10, 10, 10, 10)
+	var idx int
+	for i := 0; i < 5; i++ { // converge the EWMA
+		idx = a.Choose(p)
+	}
+	// 10 Mbps × 0.85 = 8.5 ⇒ 1080p (8.47) sustainable.
+	if StandardLadder[idx].Name != "1080p" {
+		t.Fatalf("steady 10 Mbps picked %s, want 1080p", StandardLadder[idx].Name)
+	}
+}
+
+func TestRateABRPanicsToLowestOnEmptyBuffer(t *testing.T) {
+	a := NewRateABR()
+	p := playerWithHistory(2, 10, 10, 10) // buffer below panic threshold
+	if idx := a.Choose(p); idx != 0 {
+		t.Fatalf("panic region picked %d, want 0", idx)
+	}
+}
+
+func TestRateABRSafetyFactor(t *testing.T) {
+	a := NewRateABR()
+	a.EWMAWeight = 1 // estimate = last sample exactly
+	// 4.5 Mbps measured × 0.85 = 3.83 ⇒ 360p (1.0) < x < 760p(4.14)?
+	// Highest at most 3.83 is 480p (1.60).
+	p := playerWithHistory(20, 4.5)
+	if idx := a.Choose(p); StandardLadder[idx].Name != "480p" {
+		t.Fatalf("4.5 Mbps picked %s, want 480p", StandardLadder[idx].Name)
+	}
+}
+
+func TestRateABRName(t *testing.T) {
+	if NewRateABR().Name() != "rate" || NewBBAABR().Name() != "bba" || (&FixedABR{}).Name() != "fixed" {
+		t.Fatal("ABR name mismatch")
+	}
+}
+
+func TestBBACushionOverride(t *testing.T) {
+	a := NewBBAABR()
+	a.CushionSec = 12
+	p := playerWithHistory(15)
+	if idx := a.Choose(p); idx != len(StandardLadder)-1 {
+		t.Fatalf("above explicit cushion picked %d, want top", idx)
+	}
+}
+
+func TestPlayerBufferDrainsWhilePlaying(t *testing.T) {
+	// White-box: BufferSeconds accounts for elapsed playback since the
+	// last event.
+	net := newTestEngine()
+	p := &Player{eng: net, cfg: PlayerConfig{Ladder: StandardLadder, MaxBufferSec: 30}}
+	p.bufferSec = 10
+	p.playing = true
+	p.lastUpdate = net.Now()
+	net.RunUntil(net.Now() + 4*time.Second)
+	if got := p.BufferSeconds(); got < 5.9 || got > 6.1 {
+		t.Fatalf("buffer = %.2f after 4 s playback, want ~6", got)
+	}
+}
+
+// newTestEngine returns a fresh simulation engine for white-box tests.
+func newTestEngine() *sim.Engine { return sim.New() }

@@ -1,0 +1,218 @@
+package dash
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/sim"
+)
+
+// PlayerConfig parameterizes a streaming session.
+type PlayerConfig struct {
+	// Ladder is the available representation set (default StandardLadder).
+	Ladder []Representation
+	// ChunkSeconds is the chunk duration (default 5, as in §5.1).
+	ChunkSeconds float64
+	// VideoSeconds is the total content length (the paper streams a 20
+	// minute playout; benches use shorter clips).
+	VideoSeconds float64
+	// MaxBufferSec is the playback buffer cap that produces the OFF
+	// periods (default 30).
+	MaxBufferSec float64
+	// StartPlaySec is the buffer level at which playback starts during
+	// initial buffering (default 10).
+	StartPlaySec float64
+	// ResumePlaySec is the refill level that ends a rebuffering stall
+	// (default 10).
+	ResumePlaySec float64
+	// ABR is the adaptation algorithm (default NewRateABR()).
+	ABR ABR
+}
+
+func (c *PlayerConfig) fillDefaults() {
+	if c.Ladder == nil {
+		c.Ladder = StandardLadder
+	}
+	if c.ChunkSeconds <= 0 {
+		c.ChunkSeconds = 5
+	}
+	if c.VideoSeconds <= 0 {
+		c.VideoSeconds = 120
+	}
+	if c.MaxBufferSec <= 0 {
+		c.MaxBufferSec = 30
+	}
+	if c.StartPlaySec <= 0 {
+		c.StartPlaySec = 10
+	}
+	if c.ResumePlaySec <= 0 {
+		c.ResumePlaySec = 10
+	}
+	if c.ABR == nil {
+		// The paper's client uses the buffer-based algorithm of Huang et
+		// al. [12]; it is the default here too. Rate-based ABR is
+		// available for ablations.
+		c.ABR = NewBBAABR()
+	}
+}
+
+// Player is the DASH client state machine (§2.2): initial buffering,
+// steady ON-OFF fetching against a capped playback buffer, and
+// rebuffering stalls when the buffer runs dry.
+type Player struct {
+	eng  *sim.Engine
+	conn *mptcp.Conn
+	cfg  PlayerConfig
+
+	state       PlayerState
+	bufferSec   float64
+	lastUpdate  sim.Time
+	playing     bool
+	stallBegin  sim.Time
+	nextChunk   int
+	totalChunks int
+	cumBytes    int64
+
+	result Result
+	done   func(*Result)
+}
+
+// NewPlayer builds a player over an established MPTCP connection.
+func NewPlayer(eng *sim.Engine, conn *mptcp.Conn, cfg PlayerConfig) *Player {
+	cfg.fillDefaults()
+	total := int(math.Ceil(cfg.VideoSeconds / cfg.ChunkSeconds))
+	if total < 1 {
+		total = 1
+	}
+	return &Player{eng: eng, conn: conn, cfg: cfg, totalChunks: total}
+}
+
+// State returns the current phase.
+func (p *Player) State() PlayerState { return p.state }
+
+// BufferSeconds returns the playback buffer level, accounting for
+// playback drain since the last event.
+func (p *Player) BufferSeconds() float64 {
+	buf := p.bufferSec
+	if p.playing {
+		buf -= (p.eng.Now() - p.lastUpdate).Seconds()
+		if buf < 0 {
+			buf = 0
+		}
+	}
+	return buf
+}
+
+// Result returns the session telemetry collected so far.
+func (p *Player) Result() *Result { return &p.result }
+
+// Start begins the session; done (optional) fires when the last chunk has
+// been downloaded.
+func (p *Player) Start(done func(*Result)) {
+	p.done = done
+	p.lastUpdate = p.eng.Now()
+	p.state = InitialBuffering
+	p.requestNext()
+}
+
+// advanceBuffer applies playback drain up to now and detects stalls.
+func (p *Player) advanceBuffer() {
+	now := p.eng.Now()
+	if p.playing {
+		drain := (now - p.lastUpdate).Seconds()
+		if drain >= p.bufferSec {
+			// Ran dry some time between events: playback stalled at the
+			// moment the buffer hit zero.
+			stalledAt := p.lastUpdate + time.Duration(p.bufferSec*float64(time.Second))
+			p.bufferSec = 0
+			p.playing = false
+			// Any dry buffer after playback has begun is a stall, even if
+			// the session never completed its initial buffering.
+			p.state = Rebuffering
+			p.result.Rebuffers++
+			p.stallBegin = stalledAt
+		} else {
+			p.bufferSec -= drain
+		}
+	}
+	p.lastUpdate = now
+}
+
+// requestNext issues the next chunk request via the ABR.
+func (p *Player) requestNext() {
+	p.advanceBuffer()
+	if p.nextChunk >= p.totalChunks {
+		return
+	}
+	idx := p.cfg.ABR.Choose(p)
+	rep := p.cfg.Ladder[idx]
+	bytes := ChunkBytes(rep, p.cfg.ChunkSeconds)
+	chunkIdx := p.nextChunk
+	p.nextChunk++
+	p.conn.Request(bytes, func(tr *mptcp.Transfer) {
+		p.onChunkDone(chunkIdx, rep, bytes, tr)
+	})
+}
+
+// onChunkDone folds in a completed chunk and decides when to fetch the
+// next one (immediately, or after an OFF period).
+func (p *Player) onChunkDone(idx int, rep Representation, bytes int64, tr *mptcp.Transfer) {
+	p.advanceBuffer()
+	now := p.eng.Now()
+
+	rec := ChunkRecord{
+		Index:       idx,
+		Rep:         rep,
+		Bytes:       bytes,
+		RequestedAt: tr.RequestedAt,
+		CompletedAt: now,
+	}
+	if dur := tr.Duration().Seconds(); dur > 0 {
+		rec.ThroughputMbps = float64(bytes) * 8 / dur / 1e6
+	}
+	if diff, ok := tr.LastPacketTimeDiff(0, 1); ok {
+		rec.LastPacketDiff = diff
+		rec.BothPaths = true
+	}
+	p.result.Chunks = append(p.result.Chunks, rec)
+	p.cumBytes += bytes
+	p.result.DownloadTrace = append(p.result.DownloadTrace, TracePoint{At: now, Bytes: p.cumBytes})
+
+	p.bufferSec += p.cfg.ChunkSeconds
+
+	// Playback start / stall resume.
+	if !p.playing {
+		threshold := p.cfg.StartPlaySec
+		if p.state == Rebuffering {
+			threshold = p.cfg.ResumePlaySec
+		}
+		if p.bufferSec >= threshold || p.nextChunk >= p.totalChunks {
+			if p.state == Rebuffering {
+				p.result.StallTime += now - p.stallBegin
+				p.state = Steady
+			}
+			p.playing = true
+		}
+	}
+	if p.state == InitialBuffering && p.bufferSec >= p.cfg.MaxBufferSec {
+		p.state = Steady
+	}
+
+	if p.nextChunk >= p.totalChunks {
+		p.state = Finished
+		if p.done != nil {
+			p.done(&p.result)
+		}
+		return
+	}
+
+	// ON-OFF: if fetching the next chunk would overflow the buffer, pause
+	// until enough playback has been consumed (§2.2, Figure 1).
+	if p.bufferSec+p.cfg.ChunkSeconds > p.cfg.MaxBufferSec && p.playing {
+		offSec := p.bufferSec + p.cfg.ChunkSeconds - p.cfg.MaxBufferSec
+		p.eng.Schedule(time.Duration(offSec*float64(time.Second)), p.requestNext)
+		return
+	}
+	p.requestNext()
+}

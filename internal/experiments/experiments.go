@@ -1,0 +1,257 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the simulation matrix for its
+// experiment and returns a result type whose String method prints the
+// same rows/series the paper reports. DESIGN.md carries the experiment
+// index; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dash"
+	"repro/internal/metrics"
+	"repro/internal/mptcp"
+)
+
+// Scale sets experiment sizes. The paper streams a 20-minute playout per
+// cell and repeats everything 5-30 times on a physical testbed; the Full
+// scale trades that down to what a laptop regenerates in minutes while
+// preserving every qualitative shape, and Quick keeps unit tests fast.
+type Scale struct {
+	// VideoSec is the playout length for single-cell streaming studies.
+	VideoSec float64
+	// GridVideoSec is the per-cell playout length for 6×6 heat maps.
+	GridVideoSec float64
+	// RandomDurSec is the §5.3 scenario length.
+	RandomDurSec float64
+	// RandomScenarios is the §5.3 scenario count.
+	RandomScenarios int
+	// WebRuns repeats each wget/page configuration.
+	WebRuns int
+	// WildWebRuns is the §6.3 run count.
+	WildWebRuns int
+}
+
+// Full is the bench-scale profile.
+var Full = Scale{
+	VideoSec:        240,
+	GridVideoSec:    90,
+	RandomDurSec:    240,
+	RandomScenarios: 10,
+	WebRuns:         5,
+	WildWebRuns:     30,
+}
+
+// Quick is the test-scale profile.
+var Quick = Scale{
+	VideoSec:        60,
+	GridVideoSec:    30,
+	RandomDurSec:    80,
+	RandomScenarios: 3,
+	WebRuns:         2,
+	WildWebRuns:     6,
+}
+
+// StreamConfig parameterizes one streaming run.
+type StreamConfig struct {
+	// WifiMbps/LteMbps set the regulated bandwidths (ignored when Paths
+	// is set).
+	WifiMbps, LteMbps float64
+	// Paths overrides the topology (wild runs).
+	Paths []core.PathSpec
+	// Scheduler is the registered scheduler name.
+	Scheduler string
+	// SchedulerInstance overrides Scheduler with a concrete instance
+	// (ablations tweak scheduler parameters this way).
+	SchedulerInstance mptcp.Scheduler
+	// VideoSec is the playout length.
+	VideoSec float64
+	// SubflowsPerPath (default 1; §5.2.5 uses 2).
+	SubflowsPerPath int
+	// DisableIdleRestart turns off the RFC 2861 CWND reset (Figure 6).
+	DisableIdleRestart bool
+	// CC selects the congestion controller (default "lia").
+	CC string
+	// ABR overrides the adaptation algorithm.
+	ABR dash.ABR
+	// SampleInterval enables CWND/send-buffer trace sampling.
+	SampleInterval time.Duration
+	// PreRun runs after network construction, before the player starts
+	// (jitter installation, bandwidth schedules).
+	PreRun func(net *core.Network)
+}
+
+// StreamOutcome is the telemetry of one streaming run.
+type StreamOutcome struct {
+	// Result is the player-side session record.
+	Result *dash.Result
+	// Finished reports whether the playout downloaded fully within the
+	// simulation horizon.
+	Finished bool
+	// FastFraction is the share of received bytes carried by the
+	// fast (higher-bandwidth) path; IdealFraction is the bandwidth share.
+	FastFraction  float64
+	IdealFraction float64
+	// IWResets counts initial-window resets summed over subflows
+	// (Table 3); FastIWResets counts only the fast path's.
+	IWResets     int64
+	FastIWResets int64
+	// OOODelays are the receiver's reordering samples.
+	OOODelays []time.Duration
+	// CwndTraces/SndbufTraces hold one series per subflow when sampling
+	// was enabled (Figures 3, 11, 12).
+	CwndTraces   []*metrics.TimeSeries
+	SndbufTraces []*metrics.TimeSeries
+	// SubflowNames labels the traces.
+	SubflowNames []string
+}
+
+// fastPathIndex returns which path is "fast" per the paper's definition:
+// the higher-bandwidth one, with the lower-base-RTT WiFi breaking ties.
+func fastPathIndex(wifiMbps, lteMbps float64) int {
+	if lteMbps > wifiMbps {
+		return 1
+	}
+	return 0
+}
+
+// RunStreaming executes one streaming session and gathers the outcome.
+func RunStreaming(cfg StreamConfig) *StreamOutcome {
+	specs := cfg.Paths
+	if specs == nil {
+		specs = core.DefaultPaths(cfg.WifiMbps, cfg.LteMbps)
+	}
+	net := core.NewNetwork(specs)
+	eng := net.Engine()
+
+	connCfg := mptcp.DefaultConfig(0)
+	if cfg.DisableIdleRestart {
+		connCfg.IdleRestart = false
+	}
+	conn := net.NewConn(core.ConnOptions{
+		Scheduler:         cfg.Scheduler,
+		SchedulerInstance: cfg.SchedulerInstance,
+		CongestionControl: cfg.CC,
+		SubflowsPerPath:   cfg.SubflowsPerPath,
+		Config:            &connCfg,
+	})
+
+	if cfg.PreRun != nil {
+		cfg.PreRun(net)
+	}
+
+	videoSec := cfg.VideoSec
+	if videoSec <= 0 {
+		videoSec = 120
+	}
+	player := dash.NewPlayer(eng, conn, dash.PlayerConfig{
+		VideoSeconds: videoSec,
+		ABR:          cfg.ABR,
+	})
+
+	out := &StreamOutcome{}
+	done := false
+	player.Start(func(r *dash.Result) {
+		done = true
+		out.Finished = true
+	})
+	out.Result = player.Result()
+
+	// Optional periodic sampling of CWND and subflow send-buffer
+	// occupancy.
+	if cfg.SampleInterval > 0 {
+		subflows := conn.Subflows()
+		out.CwndTraces = make([]*metrics.TimeSeries, len(subflows))
+		out.SndbufTraces = make([]*metrics.TimeSeries, len(subflows))
+		out.SubflowNames = make([]string, len(subflows))
+		for i, sf := range subflows {
+			out.CwndTraces[i] = &metrics.TimeSeries{}
+			out.SndbufTraces[i] = &metrics.TimeSeries{}
+			out.SubflowNames[i] = sf.Name()
+		}
+		var sample func()
+		sample = func() {
+			if done {
+				return
+			}
+			for i, sf := range subflows {
+				out.CwndTraces[i].Add(eng.Now(), sf.CwndSegments())
+				out.SndbufTraces[i].Add(eng.Now(), float64(sf.InflightBytes()))
+			}
+			eng.Schedule(cfg.SampleInterval, sample)
+		}
+		eng.Schedule(0, sample)
+	}
+
+	horizon := time.Duration((videoSec*12 + 300) * float64(time.Second))
+	net.Run(horizon)
+
+	// Collect.
+	nPaths := len(specs)
+	fastPath := fastPathIndex(specs[0].RateMbps, specs[1].RateMbps)
+	var fastBytes, totalBytes int64
+	for id, b := range conn.Receiver().SubflowBytes() {
+		totalBytes += b
+		if id%nPaths == fastPath {
+			fastBytes += b
+		}
+	}
+	if totalBytes > 0 {
+		out.FastFraction = float64(fastBytes) / float64(totalBytes)
+	}
+	sumBW := specs[0].RateMbps + specs[1].RateMbps
+	if sumBW > 0 {
+		fastBW := specs[fastPath].RateMbps
+		out.IdealFraction = fastBW / sumBW
+	}
+	for id, sf := range conn.Subflows() {
+		st := sf.Stats()
+		out.IWResets += st.IWResets
+		if id%nPaths == fastPath {
+			out.FastIWResets += st.IWResets
+		}
+	}
+	out.OOODelays = conn.Receiver().OOODelays()
+	return out
+}
+
+// seconds converts a float of seconds to a duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// fmtMbps labels grid axes.
+func fmtMbps(v float64) string {
+	switch {
+	case v == float64(int64(v)):
+		return itoa(int64(v))
+	default:
+		// one decimal, no fmt dependency creep — small helper
+		whole := int64(v)
+		frac := int64(v*10+0.5) - whole*10
+		return itoa(whole) + "." + itoa(frac)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

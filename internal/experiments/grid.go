@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dash"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// GridCell is the outcome of one (WiFi, LTE) bandwidth cell.
+type GridCell struct {
+	WifiMbps, LteMbps float64
+	// BitrateRatio is measured avg bitrate / ideal avg bitrate (the heat
+	// map value of Figures 2, 9, 15; darker is better).
+	BitrateRatio float64
+	// ThroughputMbps is the mean per-chunk download throughput (Figure 6).
+	ThroughputMbps float64
+	// IdealThroughputMbps is the aggregate bandwidth (Figure 6's "Ideal").
+	IdealThroughputMbps float64
+	// FastFraction and IdealFraction are the traffic-split values of
+	// Figures 7 and 10.
+	FastFraction, IdealFraction float64
+	// IWResets sums subflow window resets.
+	IWResets int64
+}
+
+// GridResult is a full 6×6 sweep for one scheduler.
+type GridResult struct {
+	Scheduler string
+	// Cells[i][j]: i indexes WiFi bandwidth, j indexes LTE bandwidth.
+	Cells [][]GridCell
+	// Bandwidths are the grid axis values.
+	Bandwidths []float64
+}
+
+// RunGrid sweeps the §5.2 bandwidth grid for one scheduler.
+// disableIdleRestart supports the Figure 6 ablation.
+func RunGrid(scheduler string, sc Scale, disableIdleRestart bool) *GridResult {
+	bws := trace.GridBandwidthsMbps
+	res := &GridResult{Scheduler: scheduler, Bandwidths: bws}
+	res.Cells = make([][]GridCell, len(bws))
+	for i, wifi := range bws {
+		res.Cells[i] = make([]GridCell, len(bws))
+		for j, lte := range bws {
+			out := RunStreaming(StreamConfig{
+				WifiMbps:           wifi,
+				LteMbps:            lte,
+				Scheduler:          scheduler,
+				VideoSec:           sc.GridVideoSec,
+				DisableIdleRestart: disableIdleRestart,
+			})
+			ideal := dash.IdealBitrateMbps(wifi+lte, dash.StandardLadder)
+			cell := GridCell{
+				WifiMbps:            wifi,
+				LteMbps:             lte,
+				ThroughputMbps:      out.Result.AvgThroughputMbps(),
+				IdealThroughputMbps: wifi + lte,
+				FastFraction:        out.FastFraction,
+				IdealFraction:       out.IdealFraction,
+				IWResets:            out.IWResets,
+			}
+			if ideal > 0 {
+				cell.BitrateRatio = out.Result.AvgBitrateMbps() / ideal
+				if cell.BitrateRatio > 1 {
+					cell.BitrateRatio = 1
+				}
+			}
+			res.Cells[i][j] = cell
+		}
+	}
+	return res
+}
+
+// Heatmap converts the sweep to a bitrate-ratio heat map (rows: LTE,
+// cols: WiFi — the paper's axes).
+func (g *GridResult) Heatmap() *metrics.Heatmap {
+	labels := make([]string, len(g.Bandwidths))
+	for i, b := range g.Bandwidths {
+		labels[i] = fmtMbps(b)
+	}
+	h := metrics.NewHeatmap(
+		fmt.Sprintf("Ratio of Measured vs. Ideal Bit Rate — %s (darker is better)", g.Scheduler),
+		labels, labels)
+	for i := range g.Bandwidths { // wifi (cols)
+		for j := range g.Bandwidths { // lte (rows)
+			h.Set(j, i, g.Cells[i][j].BitrateRatio)
+		}
+	}
+	return h
+}
+
+// Figure2Result is the default-scheduler heat map of §3.1.
+type Figure2Result struct {
+	Grid *GridResult
+}
+
+// Figure2 reproduces the motivation heat map: the default scheduler's
+// achieved/ideal bitrate ratio over the 6×6 grid.
+func Figure2(sc Scale) *Figure2Result {
+	return &Figure2Result{Grid: RunGrid("minrtt", sc, false)}
+}
+
+// String renders both numeric and shaded forms.
+func (r *Figure2Result) String() string {
+	h := r.Grid.Heatmap()
+	return "Figure 2: " + h.String() + h.Shade()
+}
+
+// Figure6Result compares throughput with and without the CWND reset.
+type Figure6Result struct {
+	Bandwidths []float64
+	WithReset  *GridResult
+	NoReset    *GridResult
+}
+
+// Figure6 reruns the default-scheduler grid with idle restart disabled.
+func Figure6(sc Scale) *Figure6Result {
+	return &Figure6Result{
+		Bandwidths: trace.GridBandwidthsMbps,
+		WithReset:  RunGrid("minrtt", sc, false),
+		NoReset:    RunGrid("minrtt", sc, true),
+	}
+}
+
+// String renders throughput rows per bandwidth pair.
+func (r *Figure6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Throughput w/ and w/o CWND reset (Default scheduler)\n")
+	t := &metrics.Table{Header: []string{"WiFi-LTE (Mbps)", "w/ reset", "w/o reset", "Ideal"}}
+	for i, wifi := range r.Bandwidths {
+		for j, lte := range r.Bandwidths {
+			t.AddRow(
+				fmtMbps(wifi)+"-"+fmtMbps(lte),
+				fmt.Sprintf("%.2f", r.WithReset.Cells[i][j].ThroughputMbps),
+				fmt.Sprintf("%.2f", r.NoReset.Cells[i][j].ThroughputMbps),
+				fmt.Sprintf("%.2f", wifi+lte),
+			)
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure7Result is the default scheduler's traffic split vs ideal.
+type Figure7Result struct {
+	Grid *GridResult
+}
+
+// Figure7 reports the fraction of traffic on the fast subflow under the
+// default scheduler across the grid.
+func Figure7(sc Scale) *Figure7Result {
+	return &Figure7Result{Grid: RunGrid("minrtt", sc, false)}
+}
+
+// String renders fraction rows.
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Fraction of Traffic on Fast Subflow (Default)\n")
+	t := &metrics.Table{Header: []string{"WiFi-LTE (Mbps)", "Default", "Ideal"}}
+	for i, wifi := range r.Grid.Bandwidths {
+		for j, lte := range r.Grid.Bandwidths {
+			c := r.Grid.Cells[i][j]
+			t.AddRow(fmtMbps(wifi)+"-"+fmtMbps(lte),
+				fmt.Sprintf("%.3f", c.FastFraction),
+				fmt.Sprintf("%.3f", c.IdealFraction))
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure9Result is the four-scheduler heat map comparison of §5.2.1.
+type Figure9Result struct {
+	Grids map[string]*GridResult
+	Order []string
+}
+
+// Figure9 sweeps the grid for default, ECF, DAPS and BLEST.
+func Figure9(sc Scale) *Figure9Result {
+	order := []string{"minrtt", "ecf", "daps", "blest"}
+	res := &Figure9Result{Grids: make(map[string]*GridResult), Order: order}
+	for _, s := range order {
+		res.Grids[s] = RunGrid(s, sc, false)
+	}
+	return res
+}
+
+// MeanRatio returns the grid-average bitrate ratio per scheduler — a
+// scalar summary of "who is darker".
+func (r *Figure9Result) MeanRatio(scheduler string) float64 {
+	return r.Grids[scheduler].Heatmap().Mean()
+}
+
+// String renders all four heat maps.
+func (r *Figure9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Measured/Ideal Bit Rate by Scheduler (darker is better)\n")
+	for _, s := range r.Order {
+		h := r.Grids[s].Heatmap()
+		b.WriteString(h.String())
+		b.WriteString(h.Shade())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure10Result compares the BLEST/ECF traffic splits against ideal.
+type Figure10Result struct {
+	Bandwidths []float64
+	BLEST      *GridResult
+	ECF        *GridResult
+}
+
+// Figure10 reports traffic splits for the two wait-capable schedulers.
+func Figure10(sc Scale) *Figure10Result {
+	return &Figure10Result{
+		Bandwidths: trace.GridBandwidthsMbps,
+		BLEST:      RunGrid("blest", sc, false),
+		ECF:        RunGrid("ecf", sc, false),
+	}
+}
+
+// String renders the split rows.
+func (r *Figure10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Fraction of Traffic on Fast Subflow (Streaming)\n")
+	t := &metrics.Table{Header: []string{"WiFi-LTE (Mbps)", "BLEST", "ECF", "Ideal"}}
+	for i, wifi := range r.Bandwidths {
+		for j, lte := range r.Bandwidths {
+			t.AddRow(fmtMbps(wifi)+"-"+fmtMbps(lte),
+				fmt.Sprintf("%.3f", r.BLEST.Cells[i][j].FastFraction),
+				fmt.Sprintf("%.3f", r.ECF.Cells[i][j].FastFraction),
+				fmt.Sprintf("%.3f", r.ECF.Cells[i][j].IdealFraction))
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure15Result is the four-subflow study of §5.2.5: 0.3 Mbps WiFi,
+// varying LTE, two subflows per interface.
+type Figure15Result struct {
+	LteBandwidths []float64
+	DefaultRatio  []float64
+	ECFRatio      []float64
+}
+
+// Figure15 compares default vs ECF with four subflows.
+func Figure15(sc Scale) *Figure15Result {
+	res := &Figure15Result{LteBandwidths: trace.GridBandwidthsMbps}
+	for _, lte := range trace.GridBandwidthsMbps {
+		ideal := dash.IdealBitrateMbps(0.3+lte, dash.StandardLadder)
+		for _, s := range []string{"minrtt", "ecf"} {
+			out := RunStreaming(StreamConfig{
+				WifiMbps:        0.3,
+				LteMbps:         lte,
+				Scheduler:       s,
+				VideoSec:        sc.GridVideoSec,
+				SubflowsPerPath: 2,
+			})
+			ratio := out.Result.AvgBitrateMbps() / ideal
+			if ratio > 1 {
+				ratio = 1
+			}
+			if s == "minrtt" {
+				res.DefaultRatio = append(res.DefaultRatio, ratio)
+			} else {
+				res.ECFRatio = append(res.ECFRatio, ratio)
+			}
+		}
+	}
+	return res
+}
+
+// String renders the two rows of the strip heat map.
+func (r *Figure15Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: Measured/Ideal Bit Rate with 4 Subflows (0.3 Mbps WiFi)\n")
+	t := &metrics.Table{Header: []string{"LTE (Mbps)"}}
+	for _, bw := range r.LteBandwidths {
+		t.Header = append(t.Header, fmtMbps(bw))
+	}
+	def := []string{"Default"}
+	ecf := []string{"ECF"}
+	for i := range r.LteBandwidths {
+		def = append(def, fmt.Sprintf("%.2f", r.DefaultRatio[i]))
+		ecf = append(ecf, fmt.Sprintf("%.2f", r.ECFRatio[i]))
+	}
+	t.AddRow(ecf...)
+	t.AddRow(def...)
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Figure16Result compares average streaming throughput across random
+// bandwidth-change scenarios (§5.3).
+type Figure16Result struct {
+	Scenarios  int
+	Schedulers []string
+	// Throughput[scheduler][scenario] is the session-average per-chunk
+	// throughput in Mbps.
+	Throughput map[string][]float64
+}
+
+// Figure16 runs the §5.3 study: WiFi and LTE bandwidths change at
+// exponentially distributed intervals (mean 40 s), drawn uniformly from
+// {0.3, 1.1, 1.7, 4.2, 8.6} Mbps; one unique seed per scenario.
+func Figure16(sc Scale) *Figure16Result {
+	schedulers := []string{"minrtt", "blest", "ecf"}
+	res := &Figure16Result{
+		Scenarios:  sc.RandomScenarios,
+		Schedulers: schedulers,
+		Throughput: make(map[string][]float64),
+	}
+	for _, s := range schedulers {
+		for scen := 0; scen < sc.RandomScenarios; scen++ {
+			out := runRandomScenario(s, uint64(scen+1), sc)
+			res.Throughput[s] = append(res.Throughput[s], out.Result.AvgThroughputMbps())
+		}
+	}
+	return res
+}
+
+// runRandomScenario builds the scenario deterministically from its seed
+// (identical across schedulers, as in the paper) and streams through it.
+func runRandomScenario(scheduler string, seed uint64, sc Scale) *StreamOutcome {
+	dur := seconds(sc.RandomDurSec)
+	init := trace.InitialRates(seed, 2, trace.RandomChangeValuesMbps)
+	changes := trace.RandomScenario(seed, 2, dur, 40*time.Second, trace.RandomChangeValuesMbps)
+	return RunStreaming(StreamConfig{
+		WifiMbps:  init[0],
+		LteMbps:   init[1],
+		Scheduler: scheduler,
+		VideoSec:  sc.RandomDurSec,
+		PreRun: func(net *core.Network) {
+			trace.Apply(net, changes)
+		},
+	})
+}
+
+// MeanThroughput averages across scenarios for one scheduler.
+func (r *Figure16Result) MeanThroughput(s string) float64 {
+	return metrics.Summarize(r.Throughput[s]).Mean
+}
+
+// String renders per-scenario bars.
+func (r *Figure16Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: Streaming Throughput under Random Bandwidth Changes (Mbps)\n")
+	t := &metrics.Table{Header: append([]string{"scenario"}, r.Schedulers...)}
+	for scen := 0; scen < r.Scenarios; scen++ {
+		row := []string{fmt.Sprintf("%d", scen+1)}
+		for _, s := range r.Schedulers {
+			row = append(row, fmt.Sprintf("%.2f", r.Throughput[s][scen]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"mean"}
+	for _, s := range r.Schedulers {
+		row = append(row, fmt.Sprintf("%.2f", r.MeanThroughput(s)))
+	}
+	t.AddRow(row...)
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure17Result is the per-chunk throughput trace for one scenario.
+type Figure17Result struct {
+	Scenario int
+	Default  []float64
+	ECF      []float64
+}
+
+// Figure17 traces chunk throughputs for scenario 6 (as the paper plots),
+// clamped to the available scenario count at small scales.
+func Figure17(sc Scale) *Figure17Result {
+	scen := 6
+	if scen > sc.RandomScenarios {
+		scen = sc.RandomScenarios
+	}
+	res := &Figure17Result{Scenario: scen}
+	res.Default = runRandomScenario("minrtt", uint64(scen), sc).Result.ChunkThroughputsMbps()
+	res.ECF = runRandomScenario("ecf", uint64(scen), sc).Result.ChunkThroughputsMbps()
+	return res
+}
+
+// String renders the two chunk series.
+func (r *Figure17Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 17: Per-chunk Throughput Trace (scenario %d, Mbps)\n", r.Scenario)
+	t := &metrics.Table{Header: []string{"chunk", "Default", "ECF"}}
+	n := len(r.Default)
+	if len(r.ECF) > n {
+		n = len(r.ECF)
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%d", i)}
+		if i < len(r.Default) {
+			row = append(row, fmt.Sprintf("%.2f", r.Default[i]))
+		} else {
+			row = append(row, "")
+		}
+		if i < len(r.ECF) {
+			row = append(row, fmt.Sprintf("%.2f", r.ECF[i]))
+		} else {
+			row = append(row, "")
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

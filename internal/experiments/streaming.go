@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Figure1Result is the ON-OFF download pattern of §2.2.
+type Figure1Result struct {
+	// Trace is the cumulative downloaded amount over time.
+	Trace []struct {
+		At    time.Duration
+		Bytes int64
+	}
+	// OffPeriods counts steady-state inter-request gaps above one second.
+	OffPeriods int
+	// InitialBufferingEnds marks when the buffer first filled.
+	InitialBufferingEnds time.Duration
+}
+
+// Figure1 reproduces the Netflix-style ON-OFF client behaviour: an
+// initial-buffering ramp followed by paced chunk fetches.
+func Figure1(sc Scale) *Figure1Result {
+	out := RunStreaming(StreamConfig{
+		WifiMbps: 8.6, LteMbps: 8.6,
+		Scheduler: "minrtt",
+		VideoSec:  sc.VideoSec,
+	})
+	res := &Figure1Result{}
+	for _, p := range out.Result.DownloadTrace {
+		res.Trace = append(res.Trace, struct {
+			At    time.Duration
+			Bytes int64
+		}{p.At, p.Bytes})
+	}
+	chunks := out.Result.Chunks
+	for i := 1; i < len(chunks); i++ {
+		gap := chunks[i].RequestedAt - chunks[i-1].CompletedAt
+		if gap > time.Second {
+			if res.OffPeriods == 0 {
+				res.InitialBufferingEnds = chunks[i-1].CompletedAt
+			}
+			res.OffPeriods++
+		}
+	}
+	return res
+}
+
+// String renders the cumulative download series.
+func (r *Figure1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Example Download Behavior (cumulative MB over time)\n")
+	t := &metrics.Table{Header: []string{"t (s)", "downloaded (MB)"}}
+	for _, p := range r.Trace {
+		t.AddRow(fmt.Sprintf("%.1f", p.At.Seconds()), fmt.Sprintf("%.2f", float64(p.Bytes)/1e6))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "initial buffering completes ≈ %.1f s; %d OFF periods afterwards\n",
+		r.InitialBufferingEnds.Seconds(), r.OffPeriods)
+	return b.String()
+}
+
+// Figure3Result is the send-buffer occupancy trace for 0.3/8.6 under the
+// default scheduler.
+type Figure3Result struct {
+	Names  []string
+	Traces []*metrics.TimeSeries // bytes over time, per subflow
+}
+
+// Figure3 samples subflow send-buffer occupancy (unacked bytes, in-flight
+// included, as the paper measures) every 100 ms.
+func Figure3(sc Scale) *Figure3Result {
+	out := RunStreaming(StreamConfig{
+		WifiMbps: 0.3, LteMbps: 8.6,
+		Scheduler:      "minrtt",
+		VideoSec:       sc.VideoSec,
+		SampleInterval: 100 * time.Millisecond,
+	})
+	return &Figure3Result{Names: out.SubflowNames, Traces: out.SndbufTraces}
+}
+
+// PeakBytes returns the maximum occupancy seen per subflow.
+func (r *Figure3Result) PeakBytes() []float64 {
+	out := make([]float64, len(r.Traces))
+	for i, tr := range r.Traces {
+		for _, v := range tr.V {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// String renders a down-sampled occupancy table.
+func (r *Figure3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Send Buffer Occupancy (KB), 0.3 Mbps WiFi / 8.6 Mbps LTE\n")
+	t := &metrics.Table{Header: append([]string{"t (s)"}, r.Names...)}
+	if len(r.Traces) > 0 {
+		ds := make([]*metrics.TimeSeries, len(r.Traces))
+		for i, tr := range r.Traces {
+			ds[i] = tr.Downsample(10)
+		}
+		for k := 0; k < ds[0].Len(); k++ {
+			row := []string{fmt.Sprintf("%.1f", ds[0].T[k].Seconds())}
+			for i := range ds {
+				if k < ds[i].Len() {
+					row = append(row, fmt.Sprintf("%.1f", ds[i].V[k]/1000))
+				} else {
+					row = append(row, "")
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure5Result holds the CDFs of last-packet time differences for the
+// x-8.6 Mbps bandwidth pairs.
+type Figure5Result struct {
+	WifiBandwidths []float64
+	CDFs           []*metrics.CDF
+}
+
+// figure5Pairs are the paper's four WiFi settings against 8.6 Mbps LTE.
+var figure5Pairs = []float64{0.3, 0.7, 1.1, 4.2}
+
+// Figure5 measures, per chunk, the time difference between the last
+// packets received on each path under the default scheduler.
+func Figure5(sc Scale) *Figure5Result {
+	res := &Figure5Result{WifiBandwidths: figure5Pairs}
+	for _, wifi := range figure5Pairs {
+		out := RunStreaming(StreamConfig{
+			WifiMbps: wifi, LteMbps: 8.6,
+			Scheduler: "minrtt",
+			VideoSec:  sc.VideoSec,
+		})
+		res.CDFs = append(res.CDFs, metrics.NewCDF(
+			metrics.DurationsToSeconds(out.Result.LastPacketDiffs())))
+	}
+	return res
+}
+
+// Median returns the median diff for pair index i.
+func (r *Figure5Result) Median(i int) time.Duration {
+	return time.Duration(r.CDFs[i].Quantile(0.5) * float64(time.Second))
+}
+
+// String renders CDF quantiles per pair.
+func (r *Figure5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Time Difference of Last Packets (CDF quantiles, seconds)\n")
+	t := &metrics.Table{Header: []string{"WiFi-LTE (Mbps)", "p25", "p50", "p75", "p95"}}
+	for i, wifi := range r.WifiBandwidths {
+		c := r.CDFs[i]
+		t.AddRow(fmtMbps(wifi)+"-8.6",
+			fmt.Sprintf("%.3f", c.Quantile(0.25)),
+			fmt.Sprintf("%.3f", c.Quantile(0.50)),
+			fmt.Sprintf("%.3f", c.Quantile(0.75)),
+			fmt.Sprintf("%.3f", c.Quantile(0.95)))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CwndTraceResult carries per-scheduler CWND traces for one subflow
+// (Figure 11: WiFi, Figure 12: LTE) in the 0.3/8.6 configuration.
+type CwndTraceResult struct {
+	Figure     string
+	SubflowIdx int
+	Schedulers []string
+	Traces     map[string]*metrics.TimeSeries
+}
+
+// cwndTrace runs the 0.3/8.6 configuration for each scheduler, sampling
+// the chosen subflow's congestion window.
+func cwndTrace(fig string, subflowIdx int, sc Scale) *CwndTraceResult {
+	res := &CwndTraceResult{
+		Figure:     fig,
+		SubflowIdx: subflowIdx,
+		Schedulers: []string{"minrtt", "daps", "blest", "ecf"},
+		Traces:     make(map[string]*metrics.TimeSeries),
+	}
+	for _, s := range res.Schedulers {
+		out := RunStreaming(StreamConfig{
+			WifiMbps: 0.3, LteMbps: 8.6,
+			Scheduler:      s,
+			VideoSec:       sc.VideoSec,
+			SampleInterval: 100 * time.Millisecond,
+		})
+		res.Traces[s] = out.CwndTraces[subflowIdx]
+	}
+	return res
+}
+
+// Figure11 traces the WiFi (slow) subflow's CWND per scheduler.
+func Figure11(sc Scale) *CwndTraceResult { return cwndTrace("Figure 11 (WiFi CWND)", 0, sc) }
+
+// Figure12 traces the LTE (fast) subflow's CWND per scheduler.
+func Figure12(sc Scale) *CwndTraceResult { return cwndTrace("Figure 12 (LTE CWND)", 1, sc) }
+
+// MeanCwnd returns the time-averaged window per scheduler.
+func (r *CwndTraceResult) MeanCwnd(s string) float64 { return r.Traces[s].MeanValue() }
+
+// String renders mean/summary rows per scheduler plus a down-sampled
+// trace for ECF vs default.
+func (r *CwndTraceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — 0.3 Mbps WiFi and 8.6 Mbps LTE\n", r.Figure)
+	t := &metrics.Table{Header: []string{"scheduler", "mean cwnd (segments)", "max"}}
+	for _, s := range r.Schedulers {
+		tr := r.Traces[s]
+		maxV := 0.0
+		for _, v := range tr.V {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		t.AddRow(s, fmt.Sprintf("%.1f", tr.MeanValue()), fmt.Sprintf("%.0f", maxV))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// OOOResult carries out-of-order delay CCDFs per scheduler for one
+// bandwidth configuration.
+type OOOResult struct {
+	Label      string
+	Schedulers []string
+	CDFs       map[string]*metrics.CDF
+}
+
+// oooRun collects OOO delays per scheduler at one bandwidth pair.
+func oooRun(label string, wifi, lte float64, schedulers []string, videoSec float64) *OOOResult {
+	res := &OOOResult{Label: label, Schedulers: schedulers, CDFs: make(map[string]*metrics.CDF)}
+	for _, s := range schedulers {
+		out := RunStreaming(StreamConfig{
+			WifiMbps: wifi, LteMbps: lte,
+			Scheduler: s,
+			VideoSec:  videoSec,
+		})
+		res.CDFs[s] = metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays))
+	}
+	return res
+}
+
+// Figure13Result is the default scheduler's OOO delay across pairs.
+type Figure13Result struct {
+	WifiBandwidths []float64
+	CDFs           []*metrics.CDF
+}
+
+// Figure13 measures OOO-delay CCDFs for the default scheduler at the
+// four x-8.6 pairs.
+func Figure13(sc Scale) *Figure13Result {
+	res := &Figure13Result{WifiBandwidths: figure5Pairs}
+	for _, wifi := range figure5Pairs {
+		out := RunStreaming(StreamConfig{
+			WifiMbps: wifi, LteMbps: 8.6,
+			Scheduler: "minrtt",
+			VideoSec:  sc.VideoSec,
+		})
+		res.CDFs = append(res.CDFs, metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays)))
+	}
+	return res
+}
+
+// String renders CCDF rows.
+func (r *Figure13Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: Out-of-Order Delay CCDF (Default scheduler)\n")
+	t := &metrics.Table{Header: []string{"WiFi-LTE", "P(>0.1s)", "P(>0.5s)", "P(>1.0s)", "mean (s)"}}
+	for i, wifi := range r.WifiBandwidths {
+		c := r.CDFs[i]
+		t.AddRow(fmtMbps(wifi)+"-8.6",
+			fmt.Sprintf("%.4f", c.CCDFAt(0.1)),
+			fmt.Sprintf("%.4f", c.CCDFAt(0.5)),
+			fmt.Sprintf("%.4f", c.CCDFAt(1.0)),
+			fmt.Sprintf("%.4f", c.Mean()))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure14Result is the four-scheduler OOO comparison at two pairs.
+type Figure14Result struct {
+	Heterogeneous *OOOResult // 0.3 / 8.6
+	Symmetric     *OOOResult // 4.2 / 8.6
+}
+
+// Figure14 compares OOO delay across schedulers.
+func Figure14(sc Scale) *Figure14Result {
+	scheds := []string{"minrtt", "daps", "blest", "ecf"}
+	return &Figure14Result{
+		Heterogeneous: oooRun("0.3 Mbps WiFi and 8.6 Mbps LTE", 0.3, 8.6, scheds, sc.VideoSec),
+		Symmetric:     oooRun("4.2 Mbps WiFi and 8.6 Mbps LTE", 4.2, 8.6, scheds, sc.VideoSec),
+	}
+}
+
+// String renders both panels.
+func (r *Figure14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 14: Out-of-Order Delay by Scheduler\n")
+	for _, panel := range []*OOOResult{r.Heterogeneous, r.Symmetric} {
+		fmt.Fprintf(&b, "(%s)\n", panel.Label)
+		t := &metrics.Table{Header: []string{"scheduler", "P(>0.1s)", "P(>0.5s)", "P(>0.8s)", "mean (s)"}}
+		for _, s := range panel.Schedulers {
+			c := panel.CDFs[s]
+			t.AddRow(s,
+				fmt.Sprintf("%.4f", c.CCDFAt(0.1)),
+				fmt.Sprintf("%.4f", c.CCDFAt(0.5)),
+				fmt.Sprintf("%.4f", c.CCDFAt(0.8)),
+				fmt.Sprintf("%.4f", c.Mean()))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dash"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Table1Result reproduces paper Table 1 (bit rate per resolution). It is
+// static data, included so the harness covers every numbered artifact.
+type Table1Result struct {
+	Ladder []dash.Representation
+}
+
+// Table1 returns the representation ladder.
+func Table1() *Table1Result {
+	return &Table1Result{Ladder: dash.StandardLadder}
+}
+
+// String renders the paper's row pair.
+func (r *Table1Result) String() string {
+	var names, rates []string
+	for _, rep := range r.Ladder {
+		names = append(names, fmt.Sprintf("%6s", rep.Name))
+		rates = append(rates, fmt.Sprintf("%6.2f", rep.Mbps))
+	}
+	return "Table 1: Video Bit Rates vs. Resolution\n" +
+		"Resolution      " + strings.Join(names, " ") + "\n" +
+		"Bit Rate (Mbps) " + strings.Join(rates, " ") + "\n"
+}
+
+// Table2Result holds measured average RTT per regulated bandwidth for
+// both interfaces (paper Table 2).
+type Table2Result struct {
+	BandwidthsMbps []float64
+	WifiRTT        []time.Duration
+	LteRTT         []time.Duration
+}
+
+// Table2 measures average RTT under a saturating bulk transfer at each
+// regulated bandwidth, per interface. The paper's numbers (WiFi 969 ms at
+// 0.3 Mbps down to 40 ms at 8.6) come from tc buffering; ours come from
+// the same mechanism — a drop-tail buffer ahead of the shaped link.
+func Table2() *Table2Result {
+	res := &Table2Result{BandwidthsMbps: trace.GridBandwidthsMbps}
+	for _, bw := range trace.GridBandwidthsMbps {
+		res.WifiRTT = append(res.WifiRTT, measureLoadedRTT("wifi", bw, core.WiFiBaseRTT))
+		res.LteRTT = append(res.LteRTT, measureLoadedRTT("lte", bw, core.LTEBaseRTT))
+	}
+	return res
+}
+
+// measureLoadedRTT saturates a single path and reports the mean of the
+// subflow's smoothed RTT sampled over the transfer.
+func measureLoadedRTT(name string, mbps float64, baseRTT time.Duration) time.Duration {
+	net := core.NewNetwork([]core.PathSpec{
+		{Name: name, RateMbps: mbps, BaseRTT: baseRTT},
+		{Name: "unused", RateMbps: 0.01, BaseRTT: time.Second},
+	})
+	conn := net.NewConn(core.ConnOptions{Scheduler: "wifi-only"})
+	// Enough bytes to keep the path busy for ~20 s.
+	bytes := int64(mbps * 1e6 / 8 * 20)
+	conn.Write(bytes, nil)
+	eng := net.Engine()
+	sf := conn.Subflows()[0]
+	var sum time.Duration
+	var n int
+	var sample func()
+	sample = func() {
+		sum += sf.Srtt()
+		n++
+		if eng.Now() < 20*time.Second {
+			eng.Schedule(250*time.Millisecond, sample)
+		}
+	}
+	eng.Schedule(2*time.Second, sample) // skip slow-start warm-up
+	net.Run(22 * time.Second)
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// String renders the Table 2 rows.
+func (r *Table2Result) String() string {
+	t := &metrics.Table{Header: []string{"Bandwidth (Mbps)"}}
+	for _, bw := range r.BandwidthsMbps {
+		t.Header = append(t.Header, fmtMbps(bw))
+	}
+	wifi := []string{"WiFi RTT(ms)"}
+	lte := []string{"LTE RTT(ms)"}
+	for i := range r.BandwidthsMbps {
+		wifi = append(wifi, fmt.Sprintf("%d", r.WifiRTT[i].Milliseconds()))
+		lte = append(lte, fmt.Sprintf("%d", r.LteRTT[i].Milliseconds()))
+	}
+	t.AddRow(wifi...)
+	t.AddRow(lte...)
+	return "Table 2: Avg. RTT with Bandwidth Regulation\n" + t.String()
+}
+
+// Table3Result counts initial-window resets per scheduler in the
+// heterogeneous streaming configuration (paper Table 3: default 486,
+// DAPS 92, BLEST 382, ECF 16 — ECF lowest by far).
+type Table3Result struct {
+	Schedulers []string
+	IWResets   []int64
+}
+
+// Table3 runs 0.3 Mbps WiFi / 8.6 Mbps LTE streaming per scheduler and
+// counts window resets.
+func Table3(sc Scale) *Table3Result {
+	res := &Table3Result{}
+	for _, s := range []string{"minrtt", "daps", "blest", "ecf"} {
+		out := RunStreaming(StreamConfig{
+			WifiMbps: 0.3, LteMbps: 8.6,
+			Scheduler: s,
+			VideoSec:  sc.VideoSec,
+		})
+		res.Schedulers = append(res.Schedulers, s)
+		res.IWResets = append(res.IWResets, out.IWResets)
+	}
+	return res
+}
+
+// String renders the Table 3 rows.
+func (r *Table3Result) String() string {
+	t := &metrics.Table{Header: append([]string{"Scheduler"}, r.Schedulers...)}
+	row := []string{"# of IW Resets"}
+	for _, v := range r.IWResets {
+		row = append(row, fmt.Sprintf("%d", v))
+	}
+	t.AddRow(row...)
+	return "Table 3: # of IW Resets - 0.3 Mbps WiFi & 8.6 Mbps LTE\n" + t.String()
+}
+
+// Table4Result reports the §6.3 wild web averages (paper Table 4:
+// download completion 0.882 s → 0.650 s, OOO delay 0.297 s → 0.087 s).
+type Table4Result struct {
+	DefaultCompletion time.Duration
+	ECFCompletion     time.Duration
+	DefaultOOO        time.Duration
+	ECFOOO            time.Duration
+}
+
+// Table4 aggregates the wild web runs (it shares the engine room with
+// Figure 23).
+func Table4(sc Scale) *Table4Result {
+	f := Figure23(sc)
+	return &Table4Result{
+		DefaultCompletion: f.MeanCompletion["minrtt"],
+		ECFCompletion:     f.MeanCompletion["ecf"],
+		DefaultOOO:        f.MeanOOO["minrtt"],
+		ECFOOO:            f.MeanOOO["ecf"],
+	}
+}
+
+// Improvement returns the relative reductions ECF achieves.
+func (r *Table4Result) Improvement() (completion, ooo float64) {
+	if r.DefaultCompletion > 0 {
+		completion = 1 - float64(r.ECFCompletion)/float64(r.DefaultCompletion)
+	}
+	if r.DefaultOOO > 0 {
+		ooo = 1 - float64(r.ECFOOO)/float64(r.DefaultOOO)
+	}
+	return completion, ooo
+}
+
+// String renders the Table 4 rows.
+func (r *Table4Result) String() string {
+	ci, oi := r.Improvement()
+	t := &metrics.Table{Header: []string{"", "Download Completion Time (sec)", "Out of Order Delay (sec)"}}
+	t.AddRow("Default", fmt.Sprintf("%.3f", r.DefaultCompletion.Seconds()), fmt.Sprintf("%.3f", r.DefaultOOO.Seconds()))
+	t.AddRow("ECF", fmt.Sprintf("%.3f", r.ECFCompletion.Seconds()), fmt.Sprintf("%.3f", r.ECFOOO.Seconds()))
+	t.AddRow("ECF Improvement", fmt.Sprintf("%.0f%% shorter", ci*100), fmt.Sprintf("%.0f%% shorter", oi*100))
+	return "Table 4: Average Statistics of Web Browsing in the Wild\n" + t.String()
+}

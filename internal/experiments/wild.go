@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mptcp"
+	"repro/internal/trace"
+	"repro/internal/web"
+)
+
+// Figure22Result is the §6.2 wild streaming study: nine runs sorted by
+// WiFi RTT, default vs ECF average throughput.
+type Figure22Result struct {
+	Runs []trace.WildRun
+	// WifiRTT/LteRTT are the mean measured RTTs per run (panel a).
+	WifiRTT, LteRTT []time.Duration
+	// Default/ECF are average per-chunk throughputs in Mbps (panel b).
+	Default, ECF []float64
+}
+
+// wildStream runs one §6 streaming session with RTT jitter installed.
+func wildStream(run trace.WildRun, scheduler string, videoSec float64) *StreamOutcome {
+	return RunStreaming(StreamConfig{
+		Paths:     run.Paths(),
+		Scheduler: scheduler,
+		VideoSec:  videoSec,
+		PreRun: func(net *core.Network) {
+			horizon := seconds(videoSec * 12)
+			trace.InstallRTTJitter(net, 0, run.WifiRTT, 0.5, 500*time.Millisecond, run.Seed, horizon)
+			trace.InstallRTTJitter(net, 1, run.LteRTT, 0.15, 500*time.Millisecond, run.Seed+99, horizon)
+		},
+	})
+}
+
+// Figure22 runs the nine wild streaming configurations under both
+// schedulers.
+func Figure22(sc Scale) *Figure22Result {
+	res := &Figure22Result{Runs: trace.WildStreamingRuns()}
+	for _, run := range res.Runs {
+		res.WifiRTT = append(res.WifiRTT, run.WifiRTT)
+		res.LteRTT = append(res.LteRTT, run.LteRTT)
+		def := wildStream(run, "minrtt", sc.VideoSec)
+		ecf := wildStream(run, "ecf", sc.VideoSec)
+		res.Default = append(res.Default, def.Result.AvgThroughputMbps())
+		res.ECF = append(res.ECF, ecf.Result.AvgThroughputMbps())
+	}
+	return res
+}
+
+// MeanThroughput returns the across-run averages (paper: default 6.72,
+// ECF 7.79 — a 16% improvement).
+func (r *Figure22Result) MeanThroughput() (def, ecf float64) {
+	return metrics.Summarize(r.Default).Mean, metrics.Summarize(r.ECF).Mean
+}
+
+// Improvement returns ECF's relative throughput gain.
+func (r *Figure22Result) Improvement() float64 {
+	def, ecf := r.MeanThroughput()
+	if def <= 0 {
+		return 0
+	}
+	return ecf/def - 1
+}
+
+// String renders both panels.
+func (r *Figure22Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 22: Streaming Experiments in the Wild\n")
+	t := &metrics.Table{Header: []string{"run", "WiFi RTT (ms)", "LTE RTT (ms)", "Default (Mbps)", "ECF (Mbps)"}}
+	for i := range r.Runs {
+		t.AddRow(fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", r.WifiRTT[i].Milliseconds()),
+			fmt.Sprintf("%d", r.LteRTT[i].Milliseconds()),
+			fmt.Sprintf("%.2f", r.Default[i]),
+			fmt.Sprintf("%.2f", r.ECF[i]))
+	}
+	b.WriteString(t.String())
+	def, ecf := r.MeanThroughput()
+	fmt.Fprintf(&b, "mean: default %.2f Mbps, ECF %.2f Mbps (%.0f%% improvement; paper: 16%%)\n",
+		def, ecf, r.Improvement()*100)
+	return b.String()
+}
+
+// Figure23Result is the §6.3 wild web study backing Figure 23 and
+// Table 4.
+type Figure23Result struct {
+	Schedulers     []string
+	Completion     map[string]*metrics.CDF
+	OOO            map[string]*metrics.CDF
+	MeanCompletion map[string]time.Duration
+	MeanOOO        map[string]time.Duration
+}
+
+// Figure23 fetches the CNN-like page over wild paths for both schedulers
+// across sc.WildWebRuns runs.
+func Figure23(sc Scale) *Figure23Result {
+	res := &Figure23Result{
+		Schedulers:     []string{"minrtt", "ecf"},
+		Completion:     make(map[string]*metrics.CDF),
+		OOO:            make(map[string]*metrics.CDF),
+		MeanCompletion: make(map[string]time.Duration),
+		MeanOOO:        make(map[string]time.Duration),
+	}
+	runs := trace.WildWebRuns(sc.WildWebRuns)
+	for _, s := range res.Schedulers {
+		var comp, ooo []float64
+		for _, run := range runs {
+			out := wildPage(run, s)
+			comp = append(comp, metrics.DurationsToSeconds(out.Completions)...)
+			ooo = append(ooo, metrics.DurationsToSeconds(out.OOODelays)...)
+		}
+		res.Completion[s] = metrics.NewCDF(comp)
+		res.OOO[s] = metrics.NewCDF(ooo)
+		res.MeanCompletion[s] = time.Duration(res.Completion[s].Mean() * float64(time.Second))
+		res.MeanOOO[s] = time.Duration(res.OOO[s].Mean() * float64(time.Second))
+	}
+	return res
+}
+
+// wildPage fetches the page once over one wild run's topology.
+func wildPage(run trace.WildRun, scheduler string) *PageOutcome {
+	net := core.NewNetwork(run.Paths())
+	trace.InstallRTTJitter(net, 0, run.WifiRTT, 0.5, 500*time.Millisecond, run.Seed, 10*time.Minute)
+	trace.InstallRTTJitter(net, 1, run.LteRTT, 0.15, 500*time.Millisecond, run.Seed+99, 10*time.Minute)
+	conns := make([]*mptcp.Conn, 6)
+	for i := range conns {
+		conns[i] = net.NewConn(core.ConnOptions{Scheduler: scheduler})
+	}
+	var res *web.PageResult
+	web.FetchPage(net.Engine(), conns, web.PageConfig{
+		Objects:   web.CNNPageObjects(run.Seed),
+		ThinkTime: 30 * time.Millisecond,
+	}, func(r *web.PageResult) { res = r })
+	net.Run(10 * time.Minute)
+	out := &PageOutcome{}
+	if res != nil {
+		out.Completions = res.CompletionTimes()
+	}
+	for _, c := range conns {
+		out.OOODelays = append(out.OOODelays, c.Receiver().OOODelays()...)
+	}
+	return out
+}
+
+// String renders the CCDF quantiles for both metrics.
+func (r *Figure23Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 23: Web Browsing Comparison in the Wild\n")
+	t := &metrics.Table{Header: []string{"scheduler", "completion p50 (s)", "p99", "mean", "OOO p50 (s)", "p99", "mean"}}
+	for _, s := range r.Schedulers {
+		c, o := r.Completion[s], r.OOO[s]
+		t.AddRow(s,
+			fmt.Sprintf("%.3f", c.Quantile(0.5)),
+			fmt.Sprintf("%.3f", c.Quantile(0.99)),
+			fmt.Sprintf("%.3f", c.Mean()),
+			fmt.Sprintf("%.3f", o.Quantile(0.5)),
+			fmt.Sprintf("%.3f", o.Quantile(0.99)),
+			fmt.Sprintf("%.3f", o.Mean()))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,494 @@
+package mptcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Config parameterizes an MPTCP connection.
+type Config struct {
+	// ID is the connection identifier; it must be unique per shared link.
+	ID int
+	// MSS is the payload bytes per segment. Zero selects 1400.
+	MSS int
+	// SndBuf is the connection-level send buffer size in bytes (the k in
+	// ECF is the unscheduled portion of this buffer). Zero selects 4 MiB.
+	SndBuf int64
+	// RcvBuf is the receive buffer / advertised window base. Zero
+	// selects 4 MiB.
+	RcvBuf int64
+	// OpportunisticRtx enables reinjection of window-blocking segments
+	// onto a faster subflow (Raiciu et al., NSDI'12). The paper keeps
+	// this on in every experiment.
+	OpportunisticRtx bool
+	// Penalization halves the window of the subflow that blocked the
+	// connection-level send window. Paired with OpportunisticRtx.
+	Penalization bool
+	// IdleRestart enables the RFC 2861 CWND reset after idle periods.
+	// Figure 6 studies the effect of turning this off.
+	IdleRestart bool
+	// InitialCwnd in segments (zero selects 10).
+	InitialCwnd float64
+	// MinRTO clamps subflow retransmission timers (zero selects 200 ms).
+	MinRTO time.Duration
+	// RequestDelay is the one-way latency for client requests reaching
+	// the server. Zero selects the primary path's reverse propagation
+	// delay plus 1 ms of processing.
+	RequestDelay time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.SndBuf <= 0 {
+		c.SndBuf = 4 << 20
+	}
+	if c.RcvBuf <= 0 {
+		c.RcvBuf = 4 << 20
+	}
+}
+
+// DefaultConfig returns the configuration used throughout the paper
+// reproduction: opportunistic retransmission, penalization and idle
+// restart all enabled (§5.1: "the opportunistic retransmission and
+// penalization mechanisms are enabled throughout all experiments").
+func DefaultConfig(id int) Config {
+	return Config{
+		ID: id,
+		// 2 MiB buffers approximate the era's Linux/Android tcp_rmem
+		// settings; they are large enough for ECF to fill the aggregate
+		// pipe yet small enough that slow-path head-of-line blocking
+		// stalls the send window, as the paper's receive-window
+		// discussion (via Raiciu et al.) describes.
+		SndBuf:           2 << 20,
+		RcvBuf:           2 << 20,
+		OpportunisticRtx: true,
+		Penalization:     true,
+		IdleRestart:      true,
+	}
+}
+
+// segRef is one unscheduled segment in the connection-level send buffer.
+type segRef struct {
+	dsn    int64
+	length int
+}
+
+// dataSeg is one scheduled-but-unacked data-level segment.
+type dataSeg struct {
+	dsn        int64
+	length     int
+	owner      *tcp.Subflow
+	reinjected bool
+}
+
+// Transfer tracks one request/response exchange over the connection (a
+// video chunk, a wget file, one web object).
+type Transfer struct {
+	// Bytes is the response size.
+	Bytes int64
+	// StartDSN and EndDSN delimit the response in the data stream.
+	StartDSN, EndDSN int64
+	// RequestedAt is when the client issued the request.
+	RequestedAt sim.Time
+	// StartedAt is when the server began sending.
+	StartedAt sim.Time
+	// CompletedAt is when the last byte was delivered in order.
+	CompletedAt sim.Time
+	// LastArrival records, per subflow ID, the arrival time of the last
+	// data packet of this transfer carried by that subflow (Figure 5).
+	LastArrival map[int]sim.Time
+
+	done func(*Transfer)
+}
+
+// Duration returns completion time as seen by the client.
+func (t *Transfer) Duration() time.Duration { return t.CompletedAt - t.RequestedAt }
+
+// LastPacketTimeDiff returns the absolute difference between the last
+// data arrivals on the two given subflows, or (0, false) if either
+// subflow carried none of this transfer.
+func (t *Transfer) LastPacketTimeDiff(sfA, sfB int) (time.Duration, bool) {
+	a, okA := t.LastArrival[sfA]
+	b, okB := t.LastArrival[sfB]
+	if !okA || !okB {
+		return 0, false
+	}
+	if a > b {
+		return a - b, true
+	}
+	return b - a, true
+}
+
+// Conn is an MPTCP connection: several TCP subflows bound to a shared
+// data stream, a scheduler that places segments onto subflows, and a
+// receiver that restores data-level ordering.
+type Conn struct {
+	eng   *sim.Engine
+	cfg   Config
+	ctrl  cc.Controller
+	sched Scheduler
+	recv  *Receiver
+
+	subflows []*tcp.Subflow
+
+	writeDSN    int64 // next DSN the application will produce
+	unsent      []segRef
+	unsentHead  int
+	unsentBytes int64
+
+	inflightQ     []*dataSeg
+	inflightHead  int
+	inflightBytes int64
+	dataAcked     int64
+	peerWindow    int64
+
+	transfers []*Transfer // active, DSN-ordered
+
+	lastPenalty map[*tcp.Subflow]sim.Time
+
+	// stats
+	reinjections int64
+	penalties    int64
+	windowStalls int64
+	waitDecision int64 // times the scheduler chose to send nothing
+	duplicates   int64 // redundant copies sent by duplicating schedulers
+}
+
+// NewConn builds a connection. Subflows are added with AddSubflow; the
+// scheduler is bound with SetScheduler before traffic starts.
+func NewConn(eng *sim.Engine, cfg Config, ctrl cc.Controller) *Conn {
+	cfg.fillDefaults()
+	if ctrl == nil {
+		ctrl = cc.NewLIA()
+	}
+	c := &Conn{
+		eng:         eng,
+		cfg:         cfg,
+		ctrl:        ctrl,
+		recv:        NewReceiver(eng, cfg.RcvBuf),
+		peerWindow:  cfg.RcvBuf,
+		lastPenalty: make(map[*tcp.Subflow]sim.Time),
+	}
+	c.recv.ArrivalHook = c.attributeArrival
+	return c
+}
+
+// SetScheduler binds the path scheduler. It must be called before data is
+// written.
+func (c *Conn) SetScheduler(s Scheduler) { c.sched = s }
+
+// Scheduler returns the bound scheduler.
+func (c *Conn) Scheduler() Scheduler { return c.sched }
+
+// Receiver returns the connection-level receive side.
+func (c *Conn) Receiver() *Receiver { return c.recv }
+
+// Engine returns the simulation engine.
+func (c *Conn) Engine() *sim.Engine { return c.eng }
+
+// Now returns the current virtual time.
+func (c *Conn) Now() sim.Time { return c.eng.Now() }
+
+// ID returns the connection identifier.
+func (c *Conn) ID() int { return c.cfg.ID }
+
+// MSS returns the configured segment payload size.
+func (c *Conn) MSS() int { return c.cfg.MSS }
+
+// AddSubflow creates a subflow over path and wires both directions
+// through the given demultiplexers (which must be installed as the
+// path's forward/reverse receivers, possibly shared with other
+// connections).
+func (c *Conn) AddSubflow(name string, path *netsim.Path, fwd, rev *netsim.Demux) *tcp.Subflow {
+	id := len(c.subflows)
+	sf := tcp.NewSubflow(c.eng, tcp.Config{
+		ConnID:      c.cfg.ID,
+		ID:          id,
+		Name:        name,
+		MSS:         c.cfg.MSS,
+		InitialCwnd: c.cfg.InitialCwnd,
+		IdleRestart: c.cfg.IdleRestart,
+		MinRTO:      c.cfg.MinRTO,
+	}, path, c.ctrl, c)
+	// Seed the RTT estimate with the zero-load path RTT, as a kernel
+	// obtains one sample from the SYN/SYN-ACK exchange at subflow setup.
+	sf.SeedRTT(path.BaseRTT())
+	rx := tcp.NewSubflowRecv(c.eng, path, c.recv, sf.AckPacketSize())
+	fwd.Register(c.cfg.ID, id, rx.OnPacket)
+	rev.Register(c.cfg.ID, id, sf.OnAck)
+	c.subflows = append(c.subflows, sf)
+	return sf
+}
+
+// Subflows returns the connection's subflows in creation order (the
+// first is the primary, WiFi in the paper's setup).
+func (c *Conn) Subflows() []*tcp.Subflow { return c.subflows }
+
+// UnsentBytes returns the bytes in the connection-level send buffer not
+// yet scheduled onto any subflow — the k of ECF's inequalities.
+func (c *Conn) UnsentBytes() int64 { return c.unsentBytes }
+
+// UnsentSegments returns the segment count of the unscheduled backlog.
+func (c *Conn) UnsentSegments() int { return len(c.unsent) - c.unsentHead }
+
+// DataInflightBytes returns scheduled-but-unacked data-level bytes.
+func (c *Conn) DataInflightBytes() int64 { return c.inflightBytes }
+
+// SendWindowBytes returns the effective connection-level send window:
+// min(send buffer, peer receive window). BLEST's blocking estimate is
+// computed against this.
+func (c *Conn) SendWindowBytes() int64 {
+	w := c.cfg.SndBuf
+	if c.peerWindow < w {
+		w = c.peerWindow
+	}
+	return w
+}
+
+// SendWindowFreeBytes returns the remaining space in the send window.
+func (c *Conn) SendWindowFreeBytes() int64 {
+	free := c.SendWindowBytes() - c.inflightBytes
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Reinjections returns the count of opportunistic retransmissions.
+func (c *Conn) Reinjections() int64 { return c.reinjections }
+
+// Penalties returns the count of penalization events.
+func (c *Conn) Penalties() int64 { return c.penalties }
+
+// WindowStalls returns how often sending was blocked by the
+// connection-level send window.
+func (c *Conn) WindowStalls() int64 { return c.windowStalls }
+
+// WaitDecisions returns how often the scheduler deliberately idled
+// (returned nil with backlog present).
+func (c *Conn) WaitDecisions() int64 { return c.waitDecision }
+
+// DuplicateSends returns redundant copies sent by a DuplicatingScheduler.
+func (c *Conn) DuplicateSends() int64 { return c.duplicates }
+
+// Write appends size bytes to the send stream and returns the Transfer
+// handle; done (optional) fires on in-order delivery of the last byte.
+func (c *Conn) Write(size int64, done func(*Transfer)) *Transfer {
+	if c.sched == nil {
+		panic("mptcp: Write before SetScheduler")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("mptcp: Write of %d bytes", size))
+	}
+	now := c.eng.Now()
+	tr := &Transfer{
+		Bytes:       size,
+		StartDSN:    c.writeDSN,
+		EndDSN:      c.writeDSN + size,
+		RequestedAt: now,
+		StartedAt:   now,
+		LastArrival: make(map[int]sim.Time),
+		done:        done,
+	}
+	c.admitTransfer(tr)
+	return tr
+}
+
+// Request models a client-issued request for size response bytes: the
+// server starts writing after the request's one-way latency. done fires
+// at the client when the last byte is delivered in order.
+func (c *Conn) Request(size int64, done func(*Transfer)) *Transfer {
+	if c.sched == nil {
+		panic("mptcp: Request before SetScheduler")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("mptcp: Request of %d bytes", size))
+	}
+	now := c.eng.Now()
+	tr := &Transfer{
+		Bytes:       size,
+		RequestedAt: now,
+		LastArrival: make(map[int]sim.Time),
+		done:        done,
+	}
+	c.eng.Schedule(c.requestDelay(), func() {
+		tr.StartedAt = c.eng.Now()
+		tr.StartDSN = c.writeDSN
+		tr.EndDSN = c.writeDSN + size
+		c.admitTransfer(tr)
+	})
+	return tr
+}
+
+// requestDelay returns the client-to-server request latency.
+func (c *Conn) requestDelay() time.Duration {
+	if c.cfg.RequestDelay > 0 {
+		return c.cfg.RequestDelay
+	}
+	if len(c.subflows) > 0 {
+		return c.subflows[0].Path().Reverse().Delay() + time.Millisecond
+	}
+	return time.Millisecond
+}
+
+// admitTransfer segments the response into the send buffer and arms the
+// completion waiter.
+func (c *Conn) admitTransfer(tr *Transfer) {
+	c.transfers = append(c.transfers, tr)
+	c.writeDSN = tr.EndDSN
+	for dsn := tr.StartDSN; dsn < tr.EndDSN; {
+		l := int64(c.cfg.MSS)
+		if tr.EndDSN-dsn < l {
+			l = tr.EndDSN - dsn
+		}
+		c.unsent = append(c.unsent, segRef{dsn: dsn, length: int(l)})
+		c.unsentBytes += l
+		dsn += l
+	}
+	c.recv.NotifyAt(tr.EndDSN, func() {
+		tr.CompletedAt = c.eng.Now()
+		c.dropTransfer(tr)
+		if tr.done != nil {
+			tr.done(tr)
+		}
+	})
+	c.trySend()
+}
+
+func (c *Conn) dropTransfer(tr *Transfer) {
+	for i, t := range c.transfers {
+		if t == tr {
+			c.transfers = append(c.transfers[:i], c.transfers[i+1:]...)
+			return
+		}
+	}
+}
+
+// SubflowAcked implements tcp.ConnHooks: fold in the piggybacked
+// data-level ACK and window, then try to schedule more data.
+func (c *Conn) SubflowAcked(sf *tcp.Subflow, dataAck, window int64) {
+	c.peerWindow = window
+	if dataAck > c.dataAcked {
+		c.dataAcked = dataAck
+		for c.inflightHead < len(c.inflightQ) {
+			seg := c.inflightQ[c.inflightHead]
+			if seg.dsn+int64(seg.length) > dataAck {
+				break
+			}
+			c.inflightQ[c.inflightHead] = nil
+			c.inflightHead++
+			c.inflightBytes -= int64(seg.length)
+		}
+		if c.inflightHead > 0 && c.inflightHead == len(c.inflightQ) {
+			c.inflightQ = c.inflightQ[:0]
+			c.inflightHead = 0
+		}
+	}
+	c.trySend()
+}
+
+// attributeArrival is called by the receiver wrapper to credit a data
+// packet to its transfer for last-packet bookkeeping.
+func (c *Conn) attributeArrival(p netsim.Packet, now sim.Time) {
+	for _, tr := range c.transfers {
+		if p.DSN >= tr.StartDSN && p.DSN < tr.EndDSN {
+			tr.LastArrival[p.SubflowID] = now
+			return
+		}
+	}
+}
+
+// trySend drains the unscheduled backlog through the scheduler while
+// windows allow.
+func (c *Conn) trySend() {
+	for _, sf := range c.subflows {
+		sf.PrepareSend()
+	}
+	for c.unsentHead < len(c.unsent) {
+		seg := c.unsent[c.unsentHead]
+		if c.inflightBytes+int64(seg.length) > c.SendWindowBytes() {
+			c.windowStalls++
+			c.maybeOpportunisticRtx()
+			return
+		}
+		sf := c.sched.Select(c)
+		if sf == nil {
+			c.waitDecision++
+			return
+		}
+		if !sf.CanSend() {
+			// Defensive: a scheduler must not return a full subflow.
+			panic(fmt.Sprintf("mptcp: scheduler %s returned subflow %s without window space",
+				c.sched.Name(), sf.Name()))
+		}
+		c.unsentHead++
+		c.unsentBytes -= int64(seg.length)
+		if c.unsentHead == len(c.unsent) {
+			c.unsent = c.unsent[:0]
+			c.unsentHead = 0
+		}
+		c.inflightQ = append(c.inflightQ, &dataSeg{dsn: seg.dsn, length: seg.length, owner: sf})
+		c.inflightBytes += int64(seg.length)
+		sf.SendSegment(seg.dsn, seg.length)
+		if dup, ok := c.sched.(DuplicatingScheduler); ok {
+			for _, extra := range dup.SelectDuplicates(c, sf) {
+				if extra.CanSend() {
+					c.duplicates++
+					extra.SendSegment(seg.dsn, seg.length)
+				}
+			}
+		}
+	}
+}
+
+// maybeOpportunisticRtx reinjects the window-blocking segment onto a
+// faster available subflow and penalizes the blocker (Raiciu NSDI'12).
+func (c *Conn) maybeOpportunisticRtx() {
+	if !c.cfg.OpportunisticRtx || c.inflightHead >= len(c.inflightQ) {
+		return
+	}
+	head := c.inflightQ[c.inflightHead]
+	if head.reinjected || head.owner == nil {
+		return
+	}
+	var best *tcp.Subflow
+	for _, sf := range c.subflows {
+		if sf == head.owner || !sf.CanSend() || !sf.HasRTTSample() {
+			continue
+		}
+		if sf.Srtt() >= head.owner.Srtt() && head.owner.HasRTTSample() {
+			continue // only reinject onto a faster subflow
+		}
+		if best == nil || sf.Srtt() < best.Srtt() {
+			best = sf
+		}
+	}
+	if best == nil {
+		return
+	}
+	head.reinjected = true
+	c.reinjections++
+	best.SendSegment(head.dsn, head.length)
+	if c.cfg.Penalization {
+		now := c.eng.Now()
+		if now-c.lastPenalty[head.owner] >= head.owner.Srtt() {
+			c.lastPenalty[head.owner] = now
+			c.penalties++
+			head.owner.Penalize()
+		}
+	}
+}
+
+// Close shuts down all subflows.
+func (c *Conn) Close() {
+	for _, sf := range c.subflows {
+		sf.Close()
+	}
+}

@@ -1,0 +1,160 @@
+package mptcp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// rxSeg is one buffered (out-of-order) data segment at the receiver.
+type rxSeg struct {
+	length  int
+	arrival sim.Time
+}
+
+// dsnWaiter fires fn once the in-order delivery point reaches dsn.
+type dsnWaiter struct {
+	dsn int64
+	fn  func()
+}
+
+// Receiver is the connection-level (data-sequence) receive side. It
+// reassembles the data stream across subflows, advertises the receive
+// window, and records the reordering telemetry the paper reports:
+// out-of-order delays (Figures 13, 14, 21, 23b) and per-subflow arrival
+// accounting (Figures 5, 7, 10).
+type Receiver struct {
+	eng    *sim.Engine
+	rcvBuf int64
+
+	expected      int64
+	buffered      map[int64]rxSeg
+	bufferedBytes int64
+
+	waiters []dsnWaiter
+
+	// ArrivalHook, when non-nil, observes every arriving data packet
+	// before reassembly (the connection uses it for per-transfer
+	// last-packet accounting).
+	ArrivalHook func(p netsim.Packet, now sim.Time)
+
+	// Telemetry.
+	oooDelays        []time.Duration
+	perSubflowBytes  map[int]int64
+	lastArrival      map[int]sim.Time
+	deliveredBytes   int64
+	duplicateArrival int64
+}
+
+// NewReceiver builds a receiver with the given receive-buffer size in
+// bytes (the base of the advertised window).
+func NewReceiver(eng *sim.Engine, rcvBuf int64) *Receiver {
+	if rcvBuf <= 0 {
+		rcvBuf = 4 << 20
+	}
+	return &Receiver{
+		eng:             eng,
+		rcvBuf:          rcvBuf,
+		buffered:        make(map[int64]rxSeg),
+		perSubflowBytes: make(map[int]int64),
+		lastArrival:     make(map[int]sim.Time),
+	}
+}
+
+// Expected returns the next in-order DSN (cumulative data-level ACK).
+func (r *Receiver) Expected() int64 { return r.expected }
+
+// DeliveredBytes returns total in-order bytes handed to the application.
+func (r *Receiver) DeliveredBytes() int64 { return r.deliveredBytes }
+
+// Window returns the currently advertised receive window.
+func (r *Receiver) Window() int64 {
+	w := r.rcvBuf - r.bufferedBytes
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// OOODelays returns the recorded out-of-order delay samples: for every
+// first-arrival data packet, the time between its arrival and its
+// in-order delivery to the application layer.
+func (r *Receiver) OOODelays() []time.Duration { return r.oooDelays }
+
+// ResetOOODelays clears the sample buffer (used between experiment
+// phases).
+func (r *Receiver) ResetOOODelays() { r.oooDelays = nil }
+
+// SubflowBytes returns first-arrival payload bytes per subflow ID.
+func (r *Receiver) SubflowBytes() map[int]int64 { return r.perSubflowBytes }
+
+// LastArrival returns the most recent data arrival time per subflow ID.
+func (r *Receiver) LastArrival() map[int]sim.Time { return r.lastArrival }
+
+// DuplicateArrivals returns the count of redundant DSN deliveries
+// (subflow retransmissions and reinjections that lost the race).
+func (r *Receiver) DuplicateArrivals() int64 { return r.duplicateArrival }
+
+// NotifyAt registers fn to run as soon as every byte below dsn has been
+// delivered in order. If that is already true, fn runs immediately.
+func (r *Receiver) NotifyAt(dsn int64, fn func()) {
+	if r.expected >= dsn {
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, dsnWaiter{dsn: dsn, fn: fn})
+	sort.SliceStable(r.waiters, func(i, j int) bool { return r.waiters[i].dsn < r.waiters[j].dsn })
+}
+
+// Snapshot implements tcp.MetaSink: current ACK fields without consuming
+// a packet.
+func (r *Receiver) Snapshot() (dataAck, window int64) {
+	return r.expected, r.Window()
+}
+
+// OnData implements tcp.MetaSink: it folds one arriving data packet into
+// the reorder buffer and returns the data-level cumulative ACK and the
+// advertised window for the outgoing subflow ACK.
+func (r *Receiver) OnData(p netsim.Packet) (dataAck, window int64) {
+	now := r.eng.Now()
+	r.lastArrival[p.SubflowID] = now
+	if r.ArrivalHook != nil {
+		r.ArrivalHook(p, now)
+	}
+
+	if p.DSN >= r.expected {
+		if _, dup := r.buffered[p.DSN]; dup {
+			r.duplicateArrival++
+		} else {
+			r.buffered[p.DSN] = rxSeg{length: p.PayloadLen, arrival: now}
+			r.bufferedBytes += int64(p.PayloadLen)
+			r.perSubflowBytes[p.SubflowID] += int64(p.PayloadLen)
+		}
+	} else {
+		r.duplicateArrival++
+	}
+
+	// Deliver everything now contiguous.
+	for {
+		seg, ok := r.buffered[r.expected]
+		if !ok {
+			break
+		}
+		delete(r.buffered, r.expected)
+		r.bufferedBytes -= int64(seg.length)
+		r.expected += int64(seg.length)
+		r.deliveredBytes += int64(seg.length)
+		r.oooDelays = append(r.oooDelays, now-seg.arrival)
+	}
+
+	// Fire completion waiters in DSN order.
+	for len(r.waiters) > 0 && r.waiters[0].dsn <= r.expected {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		w.fn()
+	}
+
+	return r.expected, r.Window()
+}

@@ -1,0 +1,34 @@
+// Package mptcp implements the MPTCP connection layer: a connection-level
+// send buffer with data sequence numbers (DSNs), subflow management, a
+// pluggable path scheduler hook, a receive-side reorder buffer that
+// measures out-of-order delay, and the opportunistic-retransmission and
+// penalization mechanisms of Raiciu et al. (NSDI'12).
+package mptcp
+
+import "repro/internal/tcp"
+
+// Scheduler decides which subflow carries the next segment. One Scheduler
+// instance is bound to exactly one Conn (schedulers such as ECF keep
+// per-connection hysteresis state).
+type Scheduler interface {
+	// Name identifies the scheduler ("minrtt", "ecf", "blest", "daps").
+	Name() string
+	// Select returns the subflow to send the next segment on, or nil to
+	// send nothing now and wait for a better subflow to become available.
+	// Implementations must only return subflows with CanSend() == true.
+	Select(c *Conn) *tcp.Subflow
+}
+
+// SchedulerFactory builds a fresh Scheduler for each connection.
+type SchedulerFactory func() Scheduler
+
+// DuplicatingScheduler is an optional extension: schedulers that also
+// send redundant copies of each segment implement it. After the primary
+// copy is placed on the subflow returned by Select, the connection sends
+// duplicates (same DSN, new subflow sequence) on every subflow returned
+// by SelectDuplicates. The receiver's reorder buffer keeps the first
+// arrival and counts later copies as duplicates.
+type DuplicatingScheduler interface {
+	Scheduler
+	SelectDuplicates(c *Conn, primary *tcp.Subflow) []*tcp.Subflow
+}

@@ -1,0 +1,44 @@
+package netsim
+
+// FlowKey identifies one subflow of one connection on a shared link.
+type FlowKey struct {
+	ConnID    int
+	SubflowID int
+}
+
+// Demux fans packets from a shared Link out to per-subflow receivers by
+// (ConnID, SubflowID). This is what lets several MPTCP connections — the
+// six persistent browser connections of §5.5, or the four subflows of
+// §5.2.5 — contend for the same bottleneck links.
+type Demux struct {
+	routes  map[FlowKey]Receiver
+	unknown int64
+}
+
+// NewDemux returns an empty demultiplexer.
+func NewDemux() *Demux {
+	return &Demux{routes: make(map[FlowKey]Receiver)}
+}
+
+// Register installs the receiver for one flow, replacing any previous
+// registration.
+func (d *Demux) Register(connID, subflowID int, r Receiver) {
+	d.routes[FlowKey{connID, subflowID}] = r
+}
+
+// Unregister removes a flow's route.
+func (d *Demux) Unregister(connID, subflowID int) {
+	delete(d.routes, FlowKey{connID, subflowID})
+}
+
+// Unrouted returns the count of packets that arrived for unknown flows.
+func (d *Demux) Unrouted() int64 { return d.unknown }
+
+// OnPacket routes one packet; unknown flows are counted and dropped.
+func (d *Demux) OnPacket(p Packet) {
+	if r, ok := d.routes[FlowKey{p.ConnID, p.SubflowID}]; ok {
+		r(p)
+		return
+	}
+	d.unknown++
+}

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Receiver consumes packets that survive a link traversal.
+type Receiver func(Packet)
+
+// LinkStats aggregates per-link counters.
+type LinkStats struct {
+	Sent      int64 // packets accepted onto the link
+	Delivered int64 // packets handed to the receiver
+	Dropped   int64 // queue-overflow drops
+	Lost      int64 // random-loss drops
+	Bytes     int64 // payload+header bytes delivered
+}
+
+// Link is a unidirectional rate-shaped channel: a drop-tail FIFO feeding a
+// serializer at Rate bits/s, followed by fixed propagation Delay.
+//
+// The queue limit bounds the bytes waiting for or in serialization, which
+// is what produces the bufferbloat the paper measures in Table 2 (a 0.3
+// Mbps link behind tens of kilobytes of buffer shows ~1 s RTTs).
+type Link struct {
+	eng  *sim.Engine
+	name string
+
+	rate       float64 // bits per second
+	delay      time.Duration
+	queueLimit int // bytes
+	queued     int // bytes waiting or in serialization
+	busyUntil  sim.Time
+	// lastArrival enforces FIFO delivery: a mid-flight propagation-delay
+	// decrease (RTT jitter) must not let later packets overtake earlier
+	// ones.
+	lastArrival sim.Time
+	lossRate    float64
+	rng         *sim.RNG
+	dst         Receiver
+	tracer      *Tracer
+
+	stats LinkStats
+}
+
+// LinkConfig parameterizes a Link.
+type LinkConfig struct {
+	// Name labels the link in telemetry ("wifi:fwd").
+	Name string
+	// RateBps is the shaping rate in bits per second. Must be positive.
+	RateBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes is the drop-tail buffer size. Zero selects a default of
+	// 64 KiB.
+	QueueBytes int
+	// LossRate is an i.i.d. random-loss probability in [0,1), applied on
+	// delivery (in addition to queue drops).
+	LossRate float64
+	// Seed seeds the loss process. Only used when LossRate > 0.
+	Seed uint64
+}
+
+// NewLink builds a Link on the given engine. The receiver may be set later
+// via SetReceiver but must be non-nil before the first Send.
+func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
+	if cfg.RateBps <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v for link %q", cfg.RateBps, cfg.Name))
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 64 * 1024
+	}
+	l := &Link{
+		eng:        eng,
+		name:       cfg.Name,
+		rate:       cfg.RateBps,
+		delay:      cfg.Delay,
+		queueLimit: cfg.QueueBytes,
+		lossRate:   cfg.LossRate,
+		dst:        dst,
+	}
+	if cfg.LossRate > 0 {
+		l.rng = sim.NewRNG(cfg.Seed + 0x9d5f)
+	}
+	return l
+}
+
+// Name returns the link label.
+func (l *Link) Name() string { return l.name }
+
+// RateBps returns the current shaping rate.
+func (l *Link) RateBps() float64 { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// QueueBytes returns the configured buffer size.
+func (l *Link) QueueBytes() int { return l.queueLimit }
+
+// QueuedBytes returns the bytes currently waiting or in serialization.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetReceiver installs the delivery callback.
+func (l *Link) SetReceiver(dst Receiver) { l.dst = dst }
+
+// SetRateBps changes the shaping rate. Packets already in serialization
+// keep their departure times; subsequent packets use the new rate. This is
+// how the §5.3 random bandwidth-change scenarios are driven.
+func (l *Link) SetRateBps(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive rate %v for link %q", rate, l.name))
+	}
+	l.rate = rate
+}
+
+// SetLossRate changes the random loss probability.
+func (l *Link) SetLossRate(p float64) {
+	l.lossRate = p
+	if p > 0 && l.rng == nil {
+		l.rng = sim.NewRNG(0x9d5f)
+	}
+}
+
+// SetDelay changes the propagation delay for subsequent packets.
+func (l *Link) SetDelay(d time.Duration) { l.delay = d }
+
+// Send enqueues a packet. It returns false when the drop-tail buffer is
+// full and the packet was discarded.
+func (l *Link) Send(p Packet) bool {
+	if l.dst == nil {
+		panic("netsim: Send on link with nil receiver")
+	}
+	if p.Size <= 0 {
+		panic("netsim: Send with non-positive packet size")
+	}
+	if l.queued+p.Size > l.queueLimit {
+		l.stats.Dropped++
+		if l.tracer != nil {
+			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDrop, Link: l.name, Pkt: p})
+		}
+		return false
+	}
+	l.stats.Sent++
+	if l.tracer != nil {
+		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceSend, Link: l.name, Pkt: p})
+	}
+	l.queued += p.Size
+
+	now := l.eng.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txTime := time.Duration(float64(p.Size*8) / l.rate * float64(time.Second))
+	if txTime <= 0 {
+		txTime = time.Nanosecond
+	}
+	l.busyUntil = start + txTime
+	departure := l.busyUntil
+	arrival := departure + l.delay
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+
+	l.eng.At(departure, func() {
+		l.queued -= p.Size
+	})
+	l.eng.At(arrival, func() {
+		if l.lossRate > 0 && l.rng.Float64() < l.lossRate {
+			l.stats.Lost++
+			if l.tracer != nil {
+				l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceLoss, Link: l.name, Pkt: p})
+			}
+			return
+		}
+		l.stats.Delivered++
+		l.stats.Bytes += int64(p.Size)
+		if l.tracer != nil {
+			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDeliver, Link: l.name, Pkt: p})
+		}
+		l.dst(p)
+	})
+	return true
+}

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func mbps(m float64) float64 { return m * 1e6 }
+
+func TestLinkDeliversWithSerializationAndPropagation(t *testing.T) {
+	eng := sim.New()
+	var arrived []sim.Time
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 10 * time.Millisecond}, func(p Packet) {
+		arrived = append(arrived, eng.Now())
+	})
+	// 1000 bytes at 8 Mbps = 1 ms serialization; +10 ms propagation.
+	if !l.Send(Packet{Size: 1000}) {
+		t.Fatal("Send returned false")
+	}
+	eng.Run()
+	if len(arrived) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(arrived))
+	}
+	want := 11 * time.Millisecond
+	if arrived[0] != want {
+		t.Fatalf("arrival at %v, want %v", arrived[0], want)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	eng := sim.New()
+	var arrived []sim.Time
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0}, func(p Packet) {
+		arrived = append(arrived, eng.Now())
+	})
+	for i := 0; i < 3; i++ {
+		l.Send(Packet{Size: 1000})
+	}
+	eng.Run()
+	if len(arrived) != 3 {
+		t.Fatalf("delivered %d, want 3", len(arrived))
+	}
+	for i, want := range []time.Duration{1, 2, 3} {
+		if arrived[i] != want*time.Millisecond {
+			t.Fatalf("packet %d arrived at %v, want %v ms", i, arrived[i], want)
+		}
+	}
+}
+
+func TestLinkDropsWhenQueueFull(t *testing.T) {
+	eng := sim.New()
+	delivered := 0
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(1), Delay: 0, QueueBytes: 2500}, func(p Packet) {
+		delivered++
+	})
+	ok1 := l.Send(Packet{Size: 1000})
+	ok2 := l.Send(Packet{Size: 1000})
+	ok3 := l.Send(Packet{Size: 1000}) // 3000 > 2500: dropped
+	eng.Run()
+	if !ok1 || !ok2 {
+		t.Fatal("first two sends should be accepted")
+	}
+	if ok3 {
+		t.Fatal("third send should be dropped")
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+	st := l.Stats()
+	if st.Dropped != 1 || st.Sent != 2 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v, want 1 drop, 2 sent, 2 delivered", st)
+	}
+}
+
+func TestLinkQueueDrainsOverTime(t *testing.T) {
+	eng := sim.New()
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0, QueueBytes: 10000}, func(p Packet) {})
+	l.Send(Packet{Size: 1000})
+	l.Send(Packet{Size: 1000})
+	if l.QueuedBytes() != 2000 {
+		t.Fatalf("queued = %d, want 2000", l.QueuedBytes())
+	}
+	eng.RunUntil(1500 * time.Microsecond) // first packet serialized at 1 ms
+	if l.QueuedBytes() != 1000 {
+		t.Fatalf("queued = %d after first departure, want 1000", l.QueuedBytes())
+	}
+	eng.Run()
+	if l.QueuedBytes() != 0 {
+		t.Fatalf("queued = %d at end, want 0", l.QueuedBytes())
+	}
+}
+
+func TestLinkRateChangeAffectsLaterPackets(t *testing.T) {
+	eng := sim.New()
+	var arrived []sim.Time
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0}, func(p Packet) {
+		arrived = append(arrived, eng.Now())
+	})
+	l.Send(Packet{Size: 1000}) // 1 ms at 8 Mbps
+	eng.Run()
+	l.SetRateBps(mbps(4))
+	l.Send(Packet{Size: 1000}) // 2 ms at 4 Mbps
+	eng.Run()
+	if arrived[0] != time.Millisecond {
+		t.Fatalf("first at %v, want 1ms", arrived[0])
+	}
+	if arrived[1] != 3*time.Millisecond {
+		t.Fatalf("second at %v, want 3ms", arrived[1])
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	eng := sim.New()
+	delivered := 0
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(100), Delay: 0, LossRate: 0.5, Seed: 1, QueueBytes: 1 << 30}, func(p Packet) {
+		delivered++
+	})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(Packet{Size: 100})
+	}
+	eng.Run()
+	if delivered < n*4/10 || delivered > n*6/10 {
+		t.Fatalf("delivered %d of %d with 50%% loss, want ~half", delivered, n)
+	}
+	st := l.Stats()
+	if st.Lost+int64(delivered) != n {
+		t.Fatalf("lost(%d)+delivered(%d) != sent(%d)", st.Lost, delivered, n)
+	}
+}
+
+func TestLinkPanicsOnBadConfig(t *testing.T) {
+	eng := sim.New()
+	assertPanics(t, "zero rate", func() { NewLink(eng, LinkConfig{RateBps: 0}, nil) })
+	l := NewLink(eng, LinkConfig{RateBps: 1e6}, func(Packet) {})
+	assertPanics(t, "zero size", func() { l.Send(Packet{Size: 0}) })
+	assertPanics(t, "negative rate set", func() { l.SetRateBps(-1) })
+	l2 := NewLink(eng, LinkConfig{RateBps: 1e6}, nil)
+	assertPanics(t, "nil receiver", func() { l2.Send(Packet{Size: 10}) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestLinkConservation(t *testing.T) {
+	// Accepted packets are either delivered or randomly lost; never
+	// duplicated, never stuck.
+	eng := sim.New()
+	delivered := 0
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(10), Delay: time.Millisecond, QueueBytes: 20000, LossRate: 0.1, Seed: 3}, func(p Packet) {
+		delivered++
+	})
+	accepted := 0
+	for i := 0; i < 500; i++ {
+		if l.Send(Packet{Size: 1200}) {
+			accepted++
+		}
+		// Space sends so the queue partially drains.
+		eng.RunUntil(eng.Now() + 500*time.Microsecond)
+	}
+	eng.Run()
+	st := l.Stats()
+	if int64(delivered)+st.Lost != int64(accepted) {
+		t.Fatalf("delivered(%d)+lost(%d) != accepted(%d)", delivered, st.Lost, accepted)
+	}
+	if l.QueuedBytes() != 0 {
+		t.Fatalf("queue not drained: %d bytes", l.QueuedBytes())
+	}
+}
+
+func TestPathWiring(t *testing.T) {
+	eng := sim.New()
+	p := NewPath(eng, PathConfig{Name: "wifi", RateBps: mbps(8), Delay: 5 * time.Millisecond})
+	var fwdGot, revGot bool
+	p.SetForwardReceiver(func(Packet) { fwdGot = true })
+	p.SetReverseReceiver(func(Packet) { revGot = true })
+	p.Forward().Send(Packet{Size: 100})
+	p.Reverse().Send(Packet{Size: 100})
+	eng.Run()
+	if !fwdGot || !revGot {
+		t.Fatalf("fwd=%v rev=%v, want both true", fwdGot, revGot)
+	}
+	if p.BaseRTT() != 10*time.Millisecond {
+		t.Fatalf("BaseRTT = %v, want 10ms", p.BaseRTT())
+	}
+	if p.Name() != "wifi" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestPathReverseRateDefaultsToForward(t *testing.T) {
+	eng := sim.New()
+	p := NewPath(eng, PathConfig{Name: "x", RateBps: mbps(2)})
+	if p.Reverse().RateBps() != mbps(2) {
+		t.Fatalf("reverse rate = %v, want %v", p.Reverse().RateBps(), mbps(2))
+	}
+	p2 := NewPath(eng, PathConfig{Name: "y", RateBps: mbps(2), ReverseRateBps: mbps(10)})
+	if p2.Reverse().RateBps() != mbps(10) {
+		t.Fatalf("reverse rate = %v, want %v", p2.Reverse().RateBps(), mbps(10))
+	}
+}
+
+func TestPacketKindString(t *testing.T) {
+	if Data.String() != "data" || Ack.String() != "ack" {
+		t.Fatal("PacketKind.String mismatch")
+	}
+	if PacketKind(9).String() != "unknown" {
+		t.Fatal("unknown kind should stringify to unknown")
+	}
+}

@@ -1,0 +1,73 @@
+// Package netsim models network paths at packet granularity: rate-shaped
+// links with propagation delay and finite drop-tail buffers, composed into
+// bidirectional paths. It is the substrate that stands in for the paper's
+// tc-regulated WiFi and LTE interfaces.
+package netsim
+
+import "time"
+
+// PacketKind distinguishes the two packet classes the transport layer
+// exchanges.
+type PacketKind uint8
+
+const (
+	// Data is a TCP data segment.
+	Data PacketKind = iota
+	// Ack is a (pure) acknowledgement.
+	Ack
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is the unit of transmission. The transport layer fills in the
+// sequencing metadata; netsim only reads Size.
+type Packet struct {
+	Kind PacketKind
+	// Size is the wire size in bytes, headers included.
+	Size int
+	// ConnID identifies the MPTCP connection (links are shared across
+	// connections; the Demux routes on ConnID+SubflowID).
+	ConnID int
+	// SubflowID identifies the owning MPTCP subflow within its connection.
+	SubflowID int
+	// Seq is the subflow-level sequence number (segment index).
+	Seq int64
+	// DSN is the MPTCP data sequence number (data-level segment index).
+	// -1 for packets that carry no data-level mapping.
+	DSN int64
+	// PayloadLen is the number of application bytes carried.
+	PayloadLen int
+	// SentAt is the virtual time the sender handed the packet to the link.
+	SentAt time.Duration
+	// Retransmit marks a retransmitted segment.
+	Retransmit bool
+
+	// Ack fields (valid when Kind == Ack).
+
+	// AckSeq is the cumulative subflow-level acknowledgement: the next
+	// expected subflow sequence number.
+	AckSeq int64
+	// DataAck is the cumulative data-level acknowledgement: the next
+	// expected DSN at the connection level.
+	DataAck int64
+	// Window is the advertised connection-level receive window in bytes.
+	Window int64
+	// EchoSentAt echoes SentAt of the segment that triggered this ACK,
+	// for RTT sampling without timestamps state.
+	EchoSentAt time.Duration
+	// EchoRetransmit reports whether the ACKed segment was a retransmit
+	// (Karn's rule: skip the RTT sample).
+	EchoRetransmit bool
+	// SackHole reports whether the receiver currently has a gap in the
+	// subflow sequence space (drives dup-ACK accounting at the sender).
+	SackHole bool
+}

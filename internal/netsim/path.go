@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// PathConfig parameterizes a bidirectional Path.
+type PathConfig struct {
+	// Name labels the path ("wifi", "lte").
+	Name string
+	// RateBps is the forward (server-to-client) shaping rate in bits/s.
+	RateBps float64
+	// ReverseRateBps is the return-path rate. Zero means same as forward.
+	ReverseRateBps float64
+	// Delay is the one-way propagation delay in each direction.
+	Delay time.Duration
+	// QueueBytes sizes each direction's drop-tail buffer (zero = 64 KiB).
+	// The forward buffer is what produces the RTT inflation of Table 2.
+	QueueBytes int
+	// LossRate is i.i.d. random loss applied in the forward direction.
+	LossRate float64
+	// Seed seeds the loss process.
+	Seed uint64
+}
+
+// Path is a bidirectional channel made of a forward and a reverse Link.
+// The transport sends data packets Forward and ACKs Reverse.
+type Path struct {
+	name string
+	fwd  *Link
+	rev  *Link
+}
+
+// NewPath builds both directions on the engine. Receivers start nil and
+// must be installed via SetForwardReceiver / SetReverseReceiver before
+// traffic flows.
+func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
+	revRate := cfg.ReverseRateBps
+	if revRate <= 0 {
+		revRate = cfg.RateBps
+	}
+	fwd := NewLink(eng, LinkConfig{
+		Name:       cfg.Name + ":fwd",
+		RateBps:    cfg.RateBps,
+		Delay:      cfg.Delay,
+		QueueBytes: cfg.QueueBytes,
+		LossRate:   cfg.LossRate,
+		Seed:       cfg.Seed,
+	}, nil)
+	rev := NewLink(eng, LinkConfig{
+		Name:       cfg.Name + ":rev",
+		RateBps:    revRate,
+		Delay:      cfg.Delay,
+		QueueBytes: cfg.QueueBytes,
+	}, nil)
+	return &Path{name: cfg.Name, fwd: fwd, rev: rev}
+}
+
+// Name returns the path label.
+func (p *Path) Name() string { return p.name }
+
+// Forward returns the data-direction link.
+func (p *Path) Forward() *Link { return p.fwd }
+
+// Reverse returns the ACK-direction link.
+func (p *Path) Reverse() *Link { return p.rev }
+
+// SetForwardReceiver installs the data-side consumer (the client).
+func (p *Path) SetForwardReceiver(r Receiver) { p.fwd.SetReceiver(r) }
+
+// SetReverseReceiver installs the ACK-side consumer (the server).
+func (p *Path) SetReverseReceiver(r Receiver) { p.rev.SetReceiver(r) }
+
+// SetRateBps rescales the forward direction (the regulated direction in
+// the paper's testbed). The reverse link is left untouched: ACK traffic is
+// negligible.
+func (p *Path) SetRateBps(rate float64) { p.fwd.SetRateBps(rate) }
+
+// BaseRTT returns the zero-load round-trip time (twice the propagation
+// delay; serialization excluded).
+func (p *Path) BaseRTT() time.Duration { return p.fwd.Delay() + p.rev.Delay() }

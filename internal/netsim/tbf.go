@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TokenBucket models tc-tbf style shaping, the mechanism the paper uses
+// to regulate WiFi and LTE bandwidth on the server ("using the Linux
+// traffic control utility tc", §3.1). Unlike the Link's pure serializer,
+// a token bucket admits short bursts up to its bucket size at line rate,
+// then throttles to the token rate; packets that find neither tokens nor
+// queue space are dropped.
+//
+// It composes in front of a Link: Send consumes tokens and forwards to
+// the Link (which should be configured at a much higher "line" rate).
+type TokenBucket struct {
+	eng *sim.Engine
+
+	rate        float64 // tokens (bytes) per second
+	bucketSize  float64 // burst capacity in bytes
+	tokens      float64
+	lastRefill  sim.Time
+	queueLimit  int // bytes waiting for tokens
+	queuedBytes int
+	queue       []Packet
+	next        *Link
+	draining    bool
+
+	dropped int64
+	shaped  int64
+}
+
+// TokenBucketConfig parameterizes a TokenBucket.
+type TokenBucketConfig struct {
+	// RateBps is the token rate in bits per second.
+	RateBps float64
+	// BurstBytes is the bucket size. Zero selects 16 KiB (a typical tc
+	// burst for megabit-scale rates).
+	BurstBytes int
+	// QueueBytes bounds the backlog waiting for tokens. Zero selects
+	// 48 KiB, matching the repository's default drop-tail depth.
+	QueueBytes int
+}
+
+// NewTokenBucket builds a shaper feeding the given link.
+func NewTokenBucket(eng *sim.Engine, cfg TokenBucketConfig, next *Link) *TokenBucket {
+	if cfg.RateBps <= 0 {
+		panic("netsim: token bucket needs a positive rate")
+	}
+	if cfg.BurstBytes <= 0 {
+		cfg.BurstBytes = 16 * 1024
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 48 * 1024
+	}
+	return &TokenBucket{
+		eng:        eng,
+		rate:       cfg.RateBps / 8,
+		bucketSize: float64(cfg.BurstBytes),
+		tokens:     float64(cfg.BurstBytes),
+		queueLimit: cfg.QueueBytes,
+		next:       next,
+	}
+}
+
+// Dropped returns packets discarded for lack of tokens and queue space.
+func (tb *TokenBucket) Dropped() int64 { return tb.dropped }
+
+// Shaped returns packets that had to wait for tokens.
+func (tb *TokenBucket) Shaped() int64 { return tb.shaped }
+
+// QueuedBytes returns the bytes waiting for tokens.
+func (tb *TokenBucket) QueuedBytes() int { return tb.queuedBytes }
+
+// SetRateBps changes the token rate.
+func (tb *TokenBucket) SetRateBps(rate float64) {
+	if rate <= 0 {
+		panic("netsim: token bucket needs a positive rate")
+	}
+	tb.refill()
+	tb.rate = rate / 8
+}
+
+// refill accrues tokens since the last refill, capped at the bucket size.
+func (tb *TokenBucket) refill() {
+	now := tb.eng.Now()
+	tb.tokens += tb.rate * (now - tb.lastRefill).Seconds()
+	if tb.tokens > tb.bucketSize {
+		tb.tokens = tb.bucketSize
+	}
+	tb.lastRefill = now
+}
+
+// Send shapes one packet. It returns false when the packet was dropped.
+func (tb *TokenBucket) Send(p Packet) bool {
+	tb.refill()
+	if len(tb.queue) == 0 && tb.tokens >= float64(p.Size) {
+		tb.tokens -= float64(p.Size)
+		return tb.next.Send(p)
+	}
+	if tb.queuedBytes+p.Size > tb.queueLimit {
+		tb.dropped++
+		return false
+	}
+	tb.shaped++
+	tb.queue = append(tb.queue, p)
+	tb.queuedBytes += p.Size
+	tb.scheduleDrain()
+	return true
+}
+
+// scheduleDrain arms a timer for when enough tokens exist for the head
+// packet.
+func (tb *TokenBucket) scheduleDrain() {
+	if tb.draining || len(tb.queue) == 0 {
+		return
+	}
+	tb.draining = true
+	need := float64(tb.queue[0].Size) - tb.tokens
+	wait := time.Duration(0)
+	if need > 0 {
+		wait = time.Duration(need / tb.rate * float64(time.Second))
+	}
+	tb.eng.Schedule(wait, tb.drain)
+}
+
+// drain forwards queued packets while tokens allow.
+func (tb *TokenBucket) drain() {
+	tb.draining = false
+	tb.refill()
+	for len(tb.queue) > 0 && tb.tokens >= float64(tb.queue[0].Size) {
+		p := tb.queue[0]
+		tb.queue = tb.queue[1:]
+		tb.queuedBytes -= p.Size
+		tb.tokens -= float64(p.Size)
+		tb.next.Send(p)
+	}
+	tb.scheduleDrain()
+}

@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestTokenBucketBurstPassesAtLineRate(t *testing.T) {
+	eng := sim.New()
+	var arrived []sim.Time
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(p Packet) {
+		arrived = append(arrived, eng.Now())
+	})
+	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e6, BurstBytes: 10_000}, line)
+	// 5 KB burst fits the bucket: all packets traverse at line rate.
+	for i := 0; i < 5; i++ {
+		if !tb.Send(Packet{Size: 1000}) {
+			t.Fatal("burst within bucket was rejected")
+		}
+	}
+	eng.Run()
+	if len(arrived) != 5 {
+		t.Fatalf("delivered %d, want 5", len(arrived))
+	}
+	if arrived[4] > time.Millisecond {
+		t.Fatalf("burst took %v, want near-instant line-rate pass", arrived[4])
+	}
+}
+
+func TestTokenBucketThrottlesToRate(t *testing.T) {
+	eng := sim.New()
+	var last sim.Time
+	delivered := 0
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(p Packet) {
+		last = eng.Now()
+		delivered++
+	})
+	// 1 Mbps shaping, tiny bucket: 25 KB should take ~0.2 s.
+	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e6, BurstBytes: 1500, QueueBytes: 1 << 20}, line)
+	for i := 0; i < 25; i++ {
+		tb.Send(Packet{Size: 1000})
+	}
+	eng.Run()
+	if delivered != 25 {
+		t.Fatalf("delivered %d, want 25", delivered)
+	}
+	want := 25_000 * 8 / 1e6 // seconds
+	got := last.Seconds()
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("25 KB at 1 Mbps finished at %.3fs, want ~%.3fs", got, want)
+	}
+	if tb.Shaped() == 0 {
+		t.Fatal("expected shaped packets")
+	}
+}
+
+func TestTokenBucketDropsOverflow(t *testing.T) {
+	eng := sim.New()
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(Packet) {})
+	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e5, BurstBytes: 1000, QueueBytes: 3000}, line)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if tb.Send(Packet{Size: 1000}) {
+			accepted++
+		}
+	}
+	if tb.Dropped() == 0 {
+		t.Fatal("expected drops with a 3 KB queue")
+	}
+	if accepted+int(tb.Dropped()) != 10 {
+		t.Fatalf("accepted %d + dropped %d != 10", accepted, tb.Dropped())
+	}
+	eng.Run()
+	if tb.QueuedBytes() != 0 {
+		t.Fatalf("queue not drained: %d", tb.QueuedBytes())
+	}
+}
+
+func TestTokenBucketRateChange(t *testing.T) {
+	eng := sim.New()
+	delivered := 0
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(Packet) { delivered++ })
+	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e5, BurstBytes: 1000, QueueBytes: 1 << 20}, line)
+	for i := 0; i < 20; i++ {
+		tb.Send(Packet{Size: 1000})
+	}
+	eng.RunUntil(100 * time.Millisecond)
+	tb.SetRateBps(1e7) // 100x faster
+	eng.Run()
+	if delivered != 20 {
+		t.Fatalf("delivered %d, want 20", delivered)
+	}
+	// At 0.1 Mbps alone, 20 KB would take 1.6 s; the speedup must land
+	// well under that.
+	if eng.Now() > time.Second {
+		t.Fatalf("finished at %v, rate change had no effect", eng.Now())
+	}
+}
+
+func TestTokenBucketPanicsOnBadRate(t *testing.T) {
+	eng := sim.New()
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9}, func(Packet) {})
+	assertPanics(t, "zero rate", func() { NewTokenBucket(eng, TokenBucketConfig{RateBps: 0}, line) })
+	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e6}, line)
+	assertPanics(t, "negative set", func() { tb.SetRateBps(-1) })
+}
+
+func TestTracerRecordsLinkEvents(t *testing.T) {
+	eng := sim.New()
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: 1e6, Delay: time.Millisecond, QueueBytes: 2500}, func(Packet) {})
+	tr := NewTracer(0)
+	tr.Attach(l)
+	l.Send(Packet{Kind: Data, Size: 1000, Seq: 0, DSN: 0, PayloadLen: 940})
+	l.Send(Packet{Kind: Data, Size: 1000, Seq: 940, DSN: 940, PayloadLen: 940})
+	l.Send(Packet{Kind: Data, Size: 1000, Seq: 1880, DSN: 1880, PayloadLen: 940}) // dropped
+	eng.Run()
+	if got := tr.CountKind(TraceSend); got != 2 {
+		t.Fatalf("sends = %d, want 2", got)
+	}
+	if got := tr.CountKind(TraceDeliver); got != 2 {
+		t.Fatalf("delivers = %d, want 2", got)
+	}
+	if got := tr.CountKind(TraceDrop); got != 1 {
+		t.Fatalf("drops = %d, want 1", got)
+	}
+	dump := tr.Dump()
+	if dump == "" || tr.Count() != 5 {
+		t.Fatalf("dump empty or count %d != 5:\n%s", tr.Count(), dump)
+	}
+}
+
+func TestTracerFilterAndLimit(t *testing.T) {
+	tr := NewTracer(3)
+	tr.Filter = func(e TraceEvent) bool { return e.Kind == TraceDrop }
+	for i := 0; i < 10; i++ {
+		tr.Record(TraceEvent{Kind: TraceDrop})
+		tr.Record(TraceEvent{Kind: TraceSend})
+	}
+	if tr.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (limit)", tr.Count())
+	}
+	if tr.Evicted() != 7 {
+		t.Fatalf("evicted = %d, want 7", tr.Evicted())
+	}
+	for _, e := range tr.Events() {
+		if e.Kind != TraceDrop {
+			t.Fatal("filter leaked a non-drop event")
+		}
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{At: time.Second, Kind: TraceSend, Link: "wifi:fwd",
+		Pkt: Packet{Kind: Data, Seq: 100, DSN: 200, PayloadLen: 1400}}
+	s := e.String()
+	for _, want := range []string{"send", "wifi:fwd", "seq=100", "dsn=200"} {
+		if !containsStr(s, want) {
+			t.Fatalf("trace line missing %q: %s", want, s)
+		}
+	}
+	a := TraceEvent{Kind: TraceDeliver, Pkt: Packet{Kind: Ack, AckSeq: 7}}
+	if !containsStr(a.String(), "ackseq=7") {
+		t.Fatalf("ack line: %s", a.String())
+	}
+	if TraceEventKind(99).String() != "unknown" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

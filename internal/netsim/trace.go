@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TraceEventKind classifies packet-level trace events.
+type TraceEventKind uint8
+
+const (
+	// TraceSend: packet accepted onto a link.
+	TraceSend TraceEventKind = iota
+	// TraceDeliver: packet handed to a receiver.
+	TraceDeliver
+	// TraceDrop: packet discarded by a full queue.
+	TraceDrop
+	// TraceLoss: packet discarded by the random-loss process.
+	TraceLoss
+)
+
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	case TraceLoss:
+		return "loss"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one recorded packet event.
+type TraceEvent struct {
+	At   time.Duration
+	Kind TraceEventKind
+	Link string
+	Pkt  Packet
+}
+
+// String renders a tcpdump-style line.
+func (e TraceEvent) String() string {
+	base := fmt.Sprintf("%.6f %-7s %-9s conn=%d sf=%d", e.At.Seconds(), e.Kind, e.Link, e.Pkt.ConnID, e.Pkt.SubflowID)
+	if e.Pkt.Kind == Data {
+		return fmt.Sprintf("%s data seq=%d dsn=%d len=%d rtx=%v", base, e.Pkt.Seq, e.Pkt.DSN, e.Pkt.PayloadLen, e.Pkt.Retransmit)
+	}
+	return fmt.Sprintf("%s ack ackseq=%d dataack=%d wnd=%d hole=%v", base, e.Pkt.AckSeq, e.Pkt.DataAck, e.Pkt.Window, e.Pkt.SackHole)
+}
+
+// Tracer records packet events from instrumented links, with an optional
+// filter and a bound on retained events (oldest evicted first).
+type Tracer struct {
+	// Filter, when non-nil, drops events for which it returns false.
+	Filter func(TraceEvent) bool
+	// Limit bounds retained events; zero means 64k.
+	Limit int
+
+	events  []TraceEvent
+	evicted int64
+}
+
+// NewTracer returns a tracer retaining up to limit events (0 = 64k).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 64 * 1024
+	}
+	return &Tracer{Limit: limit}
+}
+
+// Record adds one event, applying the filter and retention limit.
+func (t *Tracer) Record(e TraceEvent) {
+	if t.Filter != nil && !t.Filter(e) {
+		return
+	}
+	if len(t.events) >= t.Limit {
+		t.events = t.events[1:]
+		t.evicted++
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the retained events in order.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// Evicted returns how many events were discarded by the retention limit.
+func (t *Tracer) Evicted() int64 { return t.evicted }
+
+// Count returns the retained event count.
+func (t *Tracer) Count() int { return len(t.events) }
+
+// CountKind returns how many retained events have the given kind.
+func (t *Tracer) CountKind(k TraceEventKind) int {
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump renders all retained events, one per line.
+func (t *Tracer) Dump() string {
+	var b strings.Builder
+	for _, e := range t.events {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Attach instruments a link so that its packet events are recorded. The
+// original receiver keeps working; Attach wraps it.
+func (t *Tracer) Attach(l *Link) {
+	l.tracer = t
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"repro/internal/mptcp"
+	"repro/internal/tcp"
+)
+
+// BLEST is the Blocking Estimation-based scheduler (Ferlin et al., IFIP
+// Networking 2016). Like ECF it can decline to use a slow subflow, but
+// its criterion is different: it estimates whether occupying the
+// connection-level send window with a slow-path segment for one slow RTT
+// would leave the fast subflow without window space (head-of-line
+// blocking of the send window), not whether the fast path will go idle
+// for lack of data — the distinction the paper draws in §5.1 and exploits
+// in §5.2.3.
+//
+// Decision (slow subflow S considered because fast subflow F is full):
+//
+//	rtts = RTT_S / RTT_F                       (fast rounds per slow RTT)
+//	X    = MSS·(CWND_F + (rtts-1)/2)·rtts      (bytes F could send meanwhile)
+//	skip S when  X·λ  >  |W| − (inflight_S + 1)·MSS
+//
+// λ is a correction factor adapted upward whenever a send-window stall is
+// observed and slowly decayed back toward 1.
+type BLEST struct {
+	// Lambda is the adaptive correction factor (starts at 1).
+	Lambda float64
+	// LambdaStep is added to λ on observed send-window stalls.
+	LambdaStep float64
+
+	lastStalls int64
+	waits      int64
+}
+
+// NewBLEST returns a BLEST scheduler with λ = 1.
+func NewBLEST() *BLEST {
+	return &BLEST{Lambda: 1.0, LambdaStep: 0.25}
+}
+
+// Name implements mptcp.Scheduler.
+func (*BLEST) Name() string { return "blest" }
+
+// Waits reports how many Select calls declined the slow subflow.
+func (b *BLEST) Waits() int64 { return b.waits }
+
+// Select implements mptcp.Scheduler.
+func (b *BLEST) Select(c *mptcp.Conn) *tcp.Subflow {
+	subflows := c.Subflows()
+	xf := fastestOverall(subflows)
+	if xf == nil {
+		return nil
+	}
+	if xf.CanSend() {
+		return xf
+	}
+	xs := fastestAvailable(subflows)
+	if xs == nil {
+		return nil
+	}
+
+	// Adapt λ: any new send-window stall since the last decision means
+	// the previous estimate was too permissive.
+	if stalls := c.WindowStalls(); stalls > b.lastStalls {
+		b.Lambda += b.LambdaStep
+		b.lastStalls = stalls
+	} else if b.Lambda > 1 {
+		b.Lambda -= 0.01
+		if b.Lambda < 1 {
+			b.Lambda = 1
+		}
+	}
+
+	if blestDecide(blestInput{
+		RTTF:      effSrtt(xf).Seconds(),
+		RTTS:      effSrtt(xs).Seconds(),
+		CwndF:     xf.CwndSegments(),
+		MSS:       float64(c.MSS()),
+		FreeBytes: float64(c.SendWindowFreeBytes()),
+		InflightS: float64(xs.InflightBytes()),
+	}, b.Lambda) {
+		b.waits++
+		return nil
+	}
+	return xs
+}
+
+// blestInput carries the quantities of the BLEST blocking estimate.
+type blestInput struct {
+	RTTF, RTTS float64 // smoothed RTTs, seconds
+	CwndF      float64 // fast subflow window, segments
+	MSS        float64 // bytes
+	FreeBytes  float64 // free connection-level send window
+	InflightS  float64 // slow subflow's unacked bytes
+}
+
+// blestDecide returns true when the slow subflow should be skipped.
+func blestDecide(in blestInput, lambda float64) bool {
+	if in.RTTF <= 0 || in.RTTS <= 0 {
+		return false // no estimates yet: behave like the default
+	}
+	rtts := in.RTTS / in.RTTF
+	x := in.MSS * (in.CwndF + (rtts-1)/2) * rtts
+	occupied := in.InflightS + in.MSS
+	return x*lambda > in.FreeBytes-occupied
+}

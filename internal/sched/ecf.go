@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/tcp"
+)
+
+// ECF is the paper's contribution (§4, Algorithm 1): Earliest Completion
+// First. When the fastest subflow x_f has no window space, the default
+// scheduler would immediately fall back to the second-fastest available
+// subflow x_s. ECF instead asks whether waiting for x_f finishes the
+// pending backlog sooner:
+//
+//	(1 + k/CWND_f)·RTT_f < (1 + waiting·β)·(RTT_s + δ)    [wait is faster]
+//	k/CWND_s · RTT_s ≥ 2·RTT_f + δ                         [guard]
+//
+// with k the unscheduled backlog, δ = max(σ_f, σ_s) compensating RTT
+// variability, and β hysteresis against flapping between the two states.
+// When both inequalities hold, ECF sends nothing and waits for x_f.
+type ECF struct {
+	// Beta is the hysteresis factor (paper value 0.25).
+	Beta float64
+	// UseDelta enables the δ variability margin. Disabled only by the
+	// ablation benches.
+	UseDelta bool
+	// UseGuard enables the second inequality. Disabled only by the
+	// ablation benches.
+	UseGuard bool
+	// SlowStartAware refines the fast-path drain estimate when x_f is in
+	// slow start: a doubling window drains k in ~log2(1+k/w) RTTs, not
+	// k/w. The paper notes (§4) that ECF's congestion-avoidance
+	// assumption "can cause incorrect estimations ... during the
+	// slow-start phase" but argues the effect is negligible; we found the
+	// refinement helps ramp-heavy streaming slightly yet makes ECF wait
+	// for thin low-RTT paths on short fresh-connection transfers, so —
+	// like the paper — we leave the estimate unrefined by default. The
+	// ablation bench measures both settings.
+	SlowStartAware bool
+
+	waiting bool
+	waits   int64
+}
+
+// NewECF returns an ECF scheduler with the paper's parameters (β = 0.25,
+// both inequalities active).
+func NewECF() *ECF {
+	return &ECF{Beta: 0.25, UseDelta: true, UseGuard: true}
+}
+
+// Name implements mptcp.Scheduler.
+func (*ECF) Name() string { return "ecf" }
+
+// Waits reports how many Select calls chose to wait for the fast subflow.
+func (e *ECF) Waits() int64 { return e.waits }
+
+// Waiting reports the current hysteresis state.
+func (e *ECF) Waiting() bool { return e.waiting }
+
+// Select implements mptcp.Scheduler (Algorithm 1).
+func (e *ECF) Select(c *mptcp.Conn) *tcp.Subflow {
+	subflows := c.Subflows()
+	xf := fastestOverall(subflows)
+	if xf == nil {
+		return nil
+	}
+	if xf.CanSend() {
+		return xf
+	}
+	// x_f is full: candidate per the default policy.
+	xs := fastestAvailable(subflows)
+	if xs == nil {
+		return nil
+	}
+
+	// k: unscheduled backlog in segments (at least the one segment that
+	// triggered this decision).
+	k := float64(c.UnsentBytes()) / float64(c.MSS())
+	var delta float64
+	if e.UseDelta {
+		delta = maxDuration(xf.RTTStdDev(), xs.RTTStdDev()).Seconds()
+	}
+	in := ecfInput{
+		K:               k,
+		CwndF:           xf.CwndSegments(),
+		CwndS:           xs.CwndSegments(),
+		RTTF:            effSrtt(xf).Seconds(),
+		RTTS:            effSrtt(xs).Seconds(),
+		Delta:           delta,
+		FastInSlowStart: e.SlowStartAware && xf.InSlowStart(),
+	}
+	wait := ecfDecide(in, &e.waiting, e.Beta, e.UseGuard)
+	if wait {
+		e.waits++
+		return nil
+	}
+	return xs
+}
+
+// ecfInput carries the quantities of Algorithm 1 in segment/second units.
+type ecfInput struct {
+	K            float64 // unscheduled backlog, segments
+	CwndF, CwndS float64 // windows, segments
+	RTTF, RTTS   float64 // smoothed RTTs, seconds
+	Delta        float64 // max(σ_f, σ_s), seconds
+	// FastInSlowStart switches the drain estimate for x_f to the
+	// doubling-window form.
+	FastInSlowStart bool
+}
+
+// ecfDecide evaluates Algorithm 1 and updates the hysteresis state in
+// place. It returns true when the scheduler should send nothing and wait
+// for the fast subflow.
+func ecfDecide(in ecfInput, waiting *bool, beta float64, useGuard bool) bool {
+	k := in.K
+	if k < 1 {
+		k = 1
+	}
+	cwndF := in.CwndF
+	if cwndF < 1 {
+		cwndF = 1
+	}
+	cwndS := in.CwndS
+	if cwndS < 1 {
+		cwndS = 1
+	}
+	n := 1 + k/cwndF
+	if in.FastInSlowStart {
+		// Doubling window: w + 2w + 4w + ... covers k within
+		// log2(1 + k/w) round trips.
+		n = 1 + math.Log2(1+k/cwndF)
+	}
+	b := 0.0
+	if *waiting {
+		b = beta
+	}
+	if n*in.RTTF < (1+b)*(in.RTTS+in.Delta) {
+		// Waiting for x_f would complete sooner than using x_s now —
+		// unless x_s can drain the backlog faster than two fast-path
+		// round trips (the guard).
+		if !useGuard || k/cwndS*in.RTTS >= 2*in.RTTF+in.Delta {
+			*waiting = true
+			return true
+		}
+		return false
+	}
+	*waiting = false
+	return false
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

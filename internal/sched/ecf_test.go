@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The paper's §3.2 worked example: RTTs 10 ms and 100 ms, both CWNDs 10,
+// 11 packets remaining. Waiting for the fast subflow completes in 20 ms
+// versus 100 ms for splitting — ECF must wait.
+func TestECFPaperWorkedExample(t *testing.T) {
+	waiting := false
+	wait := ecfDecide(ecfInput{
+		K:     11,
+		CwndF: 10,
+		CwndS: 10,
+		RTTF:  0.010,
+		RTTS:  0.100,
+		Delta: 0,
+	}, &waiting, 0.25, true)
+	if !wait {
+		t.Fatal("ECF must wait for the fast subflow in the paper's §3.2 example")
+	}
+	if !waiting {
+		t.Fatal("hysteresis state should be set after a wait decision")
+	}
+}
+
+func TestECFUsesSlowPathForLargeBacklog(t *testing.T) {
+	// Huge backlog: even the fast path needs many RTTs, so the slow path
+	// adds useful bandwidth. n·RTT_f = (1+1000/10)·10ms ≈ 1s >> 100ms.
+	waiting := false
+	wait := ecfDecide(ecfInput{
+		K:     1000,
+		CwndF: 10,
+		CwndS: 10,
+		RTTF:  0.010,
+		RTTS:  0.100,
+		Delta: 0,
+	}, &waiting, 0.25, true)
+	if wait {
+		t.Fatal("ECF must use the slow subflow when the backlog is large")
+	}
+	if waiting {
+		t.Fatal("hysteresis state should be cleared")
+	}
+}
+
+func TestECFGuardPreventsWaitWhenSlowFinishesFast(t *testing.T) {
+	// First inequality holds (waiting looks good) but the slow subflow
+	// could drain k within two fast RTTs — guard fails, use the slow one.
+	// k=1, cwndS=10: k/cwndS·RTT_s = 6ms < 2·RTT_f = 100ms.
+	waiting := false
+	wait := ecfDecide(ecfInput{
+		K:     1,
+		CwndF: 10,
+		CwndS: 10,
+		RTTF:  0.050,
+		RTTS:  0.060,
+		Delta: 0,
+	}, &waiting, 0.25, true)
+	if wait {
+		t.Fatal("guard inequality should have prevented waiting")
+	}
+	// Same input with the guard disabled must wait.
+	waiting = false
+	wait = ecfDecide(ecfInput{
+		K:     1,
+		CwndF: 10,
+		CwndS: 10,
+		RTTF:  0.050,
+		RTTS:  0.060,
+		Delta: 0,
+	}, &waiting, 0.25, false)
+	if !wait {
+		t.Fatal("without the guard this input satisfies the wait inequality")
+	}
+}
+
+func TestECFHysteresisBeta(t *testing.T) {
+	// Borderline input: n·RTT_f slightly above RTT_s + δ, so a fresh
+	// decision sends on xs; but in the waiting state the (1+β) factor
+	// keeps it waiting.
+	in := ecfInput{
+		K:     20,
+		CwndF: 10,
+		CwndS: 10,    // guard: 20/10·110 = 220 ms ≥ 2·40 = 80 ms holds
+		RTTF:  0.040, // n·RTT_f = 3·40 = 120 ms
+		RTTS:  0.110, // RTT_s+δ = 110 ms < 120 ms < 1.25·110 = 137.5 ms
+		Delta: 0,
+	}
+	waiting := false
+	if wait := ecfDecide(in, &waiting, 0.25, true); wait {
+		t.Fatal("fresh decision should use the slow subflow")
+	}
+	waiting = true
+	if wait := ecfDecide(in, &waiting, 0.25, true); !wait {
+		t.Fatal("waiting state with β=0.25 should keep waiting on borderline input")
+	}
+	// With β=0 the waiting state must not change the decision.
+	waiting = true
+	if wait := ecfDecide(in, &waiting, 0, true); wait {
+		t.Fatal("with β=0 hysteresis must have no effect")
+	}
+}
+
+func TestECFDeltaMarginMattersForJitteryPaths(t *testing.T) {
+	// Without δ the slow path looks usable; a large σ tips the decision
+	// to waiting (RTT_s + δ grows).
+	base := ecfInput{K: 30, CwndF: 10, CwndS: 10, RTTF: 0.030, RTTS: 0.100}
+	waiting := false
+	if wait := ecfDecide(base, &waiting, 0.25, true); wait {
+		t.Fatal("without delta this input should use the slow path")
+	}
+	jittery := base
+	jittery.Delta = 0.050
+	waiting = false
+	if wait := ecfDecide(jittery, &waiting, 0.25, true); !wait {
+		t.Fatal("with a 50 ms sigma the wait inequality should hold")
+	}
+}
+
+func TestECFSymmetricPathsNeverWait(t *testing.T) {
+	// Property: with identical path characteristics, ECF behaves like the
+	// default scheduler (never waits) — the paper's homogeneous parity.
+	if err := quick.Check(func(kRaw uint16, cwndRaw, rttMs uint8) bool {
+		k := float64(kRaw%2000) + 1
+		cwnd := float64(cwndRaw%100) + 1
+		rtt := float64(rttMs%200+1) / 1000
+		waiting := false
+		// RTT_f == RTT_s: n·RTT_f = (1+k/w)·rtt >= rtt + 0 always
+		// (since k >= 1 ⇒ n > 1) ... wait requires strict <.
+		return !ecfDecide(ecfInput{K: k, CwndF: cwnd, CwndS: cwnd, RTTF: rtt, RTTS: rtt},
+			&waiting, 0.25, true)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECFZeroRTTSendsOnSlow(t *testing.T) {
+	// Before any RTT samples both srtt values are zero: ECF must not
+	// deadlock waiting; inequality 0 < 0 is false so it uses xs.
+	waiting := false
+	if wait := ecfDecide(ecfInput{K: 5, CwndF: 10, CwndS: 10}, &waiting, 0.25, true); wait {
+		t.Fatal("zero-RTT input should fall through to the slow subflow")
+	}
+}
+
+func TestECFWaitImpliesFastIsFaster(t *testing.T) {
+	// Property: whenever ECF waits, the projected fast-path completion
+	// (1+k/wf)·rttF is indeed below the slow-path option rttS+δ scaled by
+	// at most (1+β) — i.e. the wait is always justified by the model.
+	if err := quick.Check(func(kRaw uint16, wfRaw, wsRaw uint8, rttFms, rttSms uint16) bool {
+		in := ecfInput{
+			K:     float64(kRaw%3000) + 1,
+			CwndF: float64(wfRaw%200) + 1,
+			CwndS: float64(wsRaw%200) + 1,
+			RTTF:  float64(rttFms%1000+1) / 1000,
+			RTTS:  float64(rttSms%1000+1) / 1000,
+		}
+		waiting := false
+		if !ecfDecide(in, &waiting, 0.25, true) {
+			return true
+		}
+		n := 1 + in.K/in.CwndF
+		return n*in.RTTF < (1+0.25)*(in.RTTS+in.Delta)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBLESTDecide(t *testing.T) {
+	// Tiny free window: the fast path could send far more than the
+	// remaining window during one slow RTT — skip the slow subflow.
+	if !blestDecide(blestInput{
+		RTTF: 0.010, RTTS: 0.100, CwndF: 50, MSS: 1400,
+		FreeBytes: 20_000, InflightS: 5_000,
+	}, 1.0) {
+		t.Fatal("BLEST should skip the slow subflow with a near-full window")
+	}
+	// Huge free window: no blocking risk, use the slow subflow.
+	if blestDecide(blestInput{
+		RTTF: 0.010, RTTS: 0.100, CwndF: 50, MSS: 1400,
+		FreeBytes: 8 << 20, InflightS: 5_000,
+	}, 1.0) {
+		t.Fatal("BLEST should use the slow subflow with a huge window")
+	}
+}
+
+func TestBLESTNoEstimatesFallsThrough(t *testing.T) {
+	if blestDecide(blestInput{RTTF: 0, RTTS: 0.1, CwndF: 10, MSS: 1400, FreeBytes: 1e6}, 1.0) {
+		t.Fatal("BLEST with no fast-path RTT estimate must not skip")
+	}
+}
+
+func TestBLESTLambdaScalesConservatism(t *testing.T) {
+	in := blestInput{
+		RTTF: 0.010, RTTS: 0.100, CwndF: 50, MSS: 1400,
+		FreeBytes: 800_000, InflightS: 0,
+	}
+	// X = 1400·(50+4.5)·10 = 763 KB: with λ=1 it fits 800 KB, with λ=1.5
+	// it does not.
+	if blestDecide(in, 1.0) {
+		t.Fatal("λ=1 should fit")
+	}
+	if !blestDecide(in, 1.5) {
+		t.Fatal("λ=1.5 should not fit")
+	}
+}

@@ -1,0 +1,118 @@
+// Package sched implements the MPTCP path schedulers the paper compares:
+// the kernel default (minimum RTT), the paper's contribution ECF, and the
+// two prior-work baselines BLEST and DAPS, plus round-robin and
+// single-path schedulers used as additional references and ablations.
+package sched
+
+import (
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/tcp"
+)
+
+// effSrtt returns a subflow's smoothed RTT for scheduling comparisons.
+// Subflows without a sample yet report zero, which sorts them first —
+// mirroring the kernel, where a fresh subflow (srtt 0) is preferred and
+// list order (primary first) breaks ties.
+func effSrtt(sf *tcp.Subflow) time.Duration {
+	if !sf.HasRTTSample() {
+		return 0
+	}
+	return sf.Srtt()
+}
+
+// fastestAvailable returns the lowest-RTT subflow with congestion-window
+// space, or nil.
+func fastestAvailable(subflows []*tcp.Subflow) *tcp.Subflow {
+	var best *tcp.Subflow
+	for _, sf := range subflows {
+		if !sf.CanSend() {
+			continue
+		}
+		if best == nil || effSrtt(sf) < effSrtt(best) {
+			best = sf
+		}
+	}
+	return best
+}
+
+// fastestOverall returns the lowest-RTT subflow regardless of window
+// space, or nil if the connection has no subflows.
+func fastestOverall(subflows []*tcp.Subflow) *tcp.Subflow {
+	var best *tcp.Subflow
+	for _, sf := range subflows {
+		if best == nil || effSrtt(sf) < effSrtt(best) {
+			best = sf
+		}
+	}
+	return best
+}
+
+// MinRTT is the default MPTCP scheduler: pick the available subflow with
+// the smallest RTT estimate (§2.1). Its failure mode under heterogeneity
+// — filling the slow path whenever the fast path's window is full,
+// leaving the fast path idle at burst tails — is the problem the paper
+// diagnoses in §3.
+type MinRTT struct{}
+
+// NewMinRTT returns the default scheduler.
+func NewMinRTT() *MinRTT { return &MinRTT{} }
+
+// Name implements mptcp.Scheduler.
+func (*MinRTT) Name() string { return "minrtt" }
+
+// Select implements mptcp.Scheduler.
+func (*MinRTT) Select(c *mptcp.Conn) *tcp.Subflow {
+	return fastestAvailable(c.Subflows())
+}
+
+// RoundRobin cycles through available subflows regardless of RTT. It is
+// not in the paper's comparison but serves as a naive reference.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements mptcp.Scheduler.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Select implements mptcp.Scheduler.
+func (r *RoundRobin) Select(c *mptcp.Conn) *tcp.Subflow {
+	subflows := c.Subflows()
+	n := len(subflows)
+	for i := 0; i < n; i++ {
+		sf := subflows[(r.next+i)%n]
+		if sf.CanSend() {
+			r.next = (r.next + i + 1) % n
+			return sf
+		}
+	}
+	return nil
+}
+
+// SinglePath pins all traffic to one subflow (by index), modelling a
+// plain single-interface TCP connection for reference curves.
+type SinglePath struct {
+	idx int
+}
+
+// NewSinglePath returns a scheduler pinned to subflow idx.
+func NewSinglePath(idx int) *SinglePath { return &SinglePath{idx: idx} }
+
+// Name implements mptcp.Scheduler.
+func (*SinglePath) Name() string { return "singlepath" }
+
+// Select implements mptcp.Scheduler.
+func (s *SinglePath) Select(c *mptcp.Conn) *tcp.Subflow {
+	subflows := c.Subflows()
+	if s.idx >= len(subflows) {
+		return nil
+	}
+	if sf := subflows[s.idx]; sf.CanSend() {
+		return sf
+	}
+	return nil
+}

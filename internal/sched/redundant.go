@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"repro/internal/mptcp"
+	"repro/internal/tcp"
+)
+
+// Redundant duplicates every segment onto all subflows with window space
+// (the mptcp.org kernel's "redundant" scheduler). It trades goodput for
+// latency robustness: the receiver keeps whichever copy arrives first, so
+// a slow path can never delay in-order delivery. It is not part of the
+// paper's comparison but serves as an instructive extension baseline: it
+// bounds the achievable out-of-order delay from below while wasting the
+// aggregate bandwidth the paper's schedulers try to harvest.
+type Redundant struct{}
+
+// NewRedundant returns a redundant scheduler.
+func NewRedundant() *Redundant { return &Redundant{} }
+
+// Name implements mptcp.Scheduler.
+func (*Redundant) Name() string { return "redundant" }
+
+// Select implements mptcp.Scheduler: new data is paced by the lowest-RTT
+// subflow; if it has no window space the scheduler waits rather than
+// strand a sole copy on a slow path (which would reintroduce exactly the
+// head-of-line delays redundancy exists to avoid).
+func (r *Redundant) Select(c *mptcp.Conn) *tcp.Subflow {
+	xf := fastestOverall(c.Subflows())
+	if xf != nil && xf.CanSend() {
+		return xf
+	}
+	return nil
+}
+
+// SelectDuplicates implements mptcp.DuplicatingScheduler: every other
+// available subflow carries a redundant copy.
+func (r *Redundant) SelectDuplicates(c *mptcp.Conn, primary *tcp.Subflow) []*tcp.Subflow {
+	var out []*tcp.Subflow
+	for _, sf := range c.Subflows() {
+		if sf != primary && sf.CanSend() {
+			out = append(out, sf)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mptcp"
+)
+
+func TestRedundantDuplicatesEverySegment(t *testing.T) {
+	r := newRig(t, NewRedundant(), 8, 8)
+	var tr *mptcp.Transfer
+	r.conn.Request(500_000, func(x *mptcp.Transfer) { tr = x })
+	r.eng.Run()
+	if tr == nil {
+		t.Fatal("transfer did not complete")
+	}
+	if r.conn.DuplicateSends() == 0 {
+		t.Fatal("redundant scheduler sent no duplicates")
+	}
+	// The receiver must have seen (and discarded) redundant DSNs.
+	if r.conn.Receiver().DuplicateArrivals() == 0 {
+		t.Fatal("no duplicate arrivals recorded")
+	}
+	if got := r.conn.Receiver().DeliveredBytes(); got != 500_000 {
+		t.Fatalf("delivered %d, want 500000", got)
+	}
+}
+
+func TestRedundantLowersOOODelayVsDefault(t *testing.T) {
+	// The redundant scheduler bounds out-of-order delay from below: the
+	// first copy to arrive is delivered, so heterogeneity cannot stall
+	// in-order delivery for long.
+	mean := func(s mptcp.Scheduler) float64 {
+		r := newRig(t, s, 0.3, 8.6)
+		runBurstySized(r, 4, 500_000)
+		var sum float64
+		ds := r.conn.Receiver().OOODelays()
+		if len(ds) == 0 {
+			return 0
+		}
+		for _, d := range ds {
+			sum += d.Seconds()
+		}
+		return sum / float64(len(ds))
+	}
+	if red, def := mean(NewRedundant()), mean(NewMinRTT()); red > def {
+		t.Fatalf("redundant mean OOO %.4f > default %.4f", red, def)
+	}
+}
+
+func TestRedundantGoodputCostOnSymmetricPaths(t *testing.T) {
+	// The flip side: on symmetric paths duplication forfeits half the
+	// aggregate capacity, so bulk completion is clearly slower than
+	// ECF's, which harvests both paths.
+	run := func(s mptcp.Scheduler) time.Duration {
+		r := newRig(t, s, 8, 8)
+		return runBurstySized(r, 4, 2<<20)
+	}
+	red := run(NewRedundant())
+	ecf := run(NewECF())
+	if red <= ecf*11/10 {
+		t.Fatalf("redundant %v not clearly slower than ecf %v on symmetric paths", red, ecf)
+	}
+}
+
+func TestRedundantRegistered(t *testing.T) {
+	f, err := Factory("redundant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f().(mptcp.DuplicatingScheduler); !ok {
+		t.Fatal("redundant must implement DuplicatingScheduler")
+	}
+}

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mptcp"
+)
+
+// factories maps scheduler names to constructors. Each connection gets a
+// fresh instance (schedulers carry per-connection state).
+var factories = map[string]mptcp.SchedulerFactory{
+	"minrtt":     func() mptcp.Scheduler { return NewMinRTT() },
+	"default":    func() mptcp.Scheduler { return NewMinRTT() },
+	"ecf":        func() mptcp.Scheduler { return NewECF() },
+	"blest":      func() mptcp.Scheduler { return NewBLEST() },
+	"daps":       func() mptcp.Scheduler { return NewDAPS() },
+	"roundrobin": func() mptcp.Scheduler { return NewRoundRobin() },
+	"redundant":  func() mptcp.Scheduler { return NewRedundant() },
+	"wifi-only":  func() mptcp.Scheduler { return NewSinglePath(0) },
+	"lte-only":   func() mptcp.Scheduler { return NewSinglePath(1) },
+}
+
+// Factory returns the constructor for a scheduler name.
+func Factory(name string) (mptcp.SchedulerFactory, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+	}
+	return f, nil
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

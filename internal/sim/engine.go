@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the network, transport and application models in this repository
+// run on virtual time supplied by an Engine. Events execute in strict
+// timestamp order; ties are broken by scheduling order, which makes every
+// simulation fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the simulation epoch (0).
+type Time = time.Duration
+
+// Timer is a handle for a scheduled event. A Timer can be cancelled or
+// queried; it is returned by Engine.Schedule and Engine.At.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time the timer is scheduled to fire.
+func (t *Timer) At() Time { return t.at }
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Cancelled reports whether Cancel has been called.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Engine is a discrete-event scheduler over virtual time.
+//
+// The zero value is not usable; construct with New. Engines are not safe
+// for concurrent use: simulations are single-goroutine by design, which is
+// what makes them reproducible.
+type Engine struct {
+	now     Time
+	queue   timerHeap
+	seq     uint64
+	stopped bool
+	// processed counts events that have been executed.
+	processed uint64
+}
+
+// New returns an empty Engine positioned at time 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled ones that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run delay from now. A negative delay is
+// treated as zero (run "immediately", after currently queued events at the
+// same timestamp). The returned Timer may be used to cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. If t is in the
+// past it is clamped to the current time.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, tm)
+	return tm
+}
+
+// Stop aborts the current Run/RunUntil after the in-flight event returns.
+// The queue is preserved, so a subsequent Run resumes where it left off.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty. Cancelled events are discarded
+// without executing.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		tm := heap.Pop(&e.queue).(*Timer)
+		if tm.cancelled {
+			continue
+		}
+		if tm.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", tm.at, e.now))
+		}
+		e.now = tm.at
+		e.processed++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is ahead of the last event). Events scheduled
+// after deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		tm := e.peek()
+		if tm == nil || tm.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek returns the earliest non-cancelled timer without executing it.
+func (e *Engine) peek() *Timer {
+	for len(e.queue) > 0 {
+		tm := e.queue[0]
+		if !tm.cancelled {
+			return tm
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// timerHeap is a min-heap ordered by (at, seq).
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleRunsInOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTiesBreakByScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := New()
+	var at time.Duration
+	e.Schedule(42*time.Millisecond, func() { at = e.Now() })
+	e.Run()
+	if at != 42*time.Millisecond {
+		t.Fatalf("event saw Now() = %v, want 42ms", at)
+	}
+	if e.Now() != 42*time.Millisecond {
+		t.Fatalf("final Now() = %v, want 42ms", e.Now())
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10*time.Millisecond, func() {
+		e.Schedule(-time.Second, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("Now() = %v, want 10ms", e.Now())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.Schedule(time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if !tm.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("Now() = %v, want 99ms", e.Now())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	e := New()
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", e.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	e.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Millisecond, func() {})
+	}
+	tm := e.Schedule(time.Millisecond, func() {})
+	tm.Cancel()
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7 (cancelled events excluded)", e.Processed())
+	}
+}
+
+func TestAtClampsPastTimes(t *testing.T) {
+	e := New()
+	var at time.Duration
+	e.Schedule(10*time.Millisecond, func() {
+		e.At(time.Millisecond, func() { at = e.Now() }) // in the past
+	})
+	e.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past-scheduled event ran at %v, want 10ms", at)
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestTimerAt(t *testing.T) {
+	e := New()
+	tm := e.Schedule(7*time.Millisecond, func() {})
+	if tm.At() != 7*time.Millisecond {
+		t.Fatalf("At() = %v, want 7ms", tm.At())
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,162 @@
+package tcp
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MetaSink is the connection-level receiver a subflow receiver reports
+// into. It returns the piggyback fields for the outgoing ACK: the
+// cumulative data-level acknowledgement and the advertised receive window.
+type MetaSink interface {
+	OnData(p netsim.Packet) (dataAck, window int64)
+	// Snapshot returns the current piggyback fields without consuming a
+	// packet (delayed ACKs read it when their timer fires).
+	Snapshot() (dataAck, window int64)
+}
+
+// SubflowRecv is the receive side of one subflow: it reassembles the
+// subflow-level byte stream, generates cumulative ACKs (with a SACK-style
+// "hole present" hint that drives the sender's duplicate-ACK counting)
+// and forwards every arriving data packet to the connection-level
+// receiver for DSN-level reordering.
+type SubflowRecv struct {
+	eng      *sim.Engine
+	path     *netsim.Path
+	meta     MetaSink
+	ackBytes int
+
+	expected int64
+	buffered map[int64]int // subflow seq -> length
+
+	// DelayedAcks enables RFC 1122-style ACK coalescing: in-order
+	// arrivals are acknowledged every second segment or after 40 ms,
+	// while out-of-order arrivals (and arrivals that fill holes) are
+	// acknowledged immediately per RFC 5681. Off by default — the
+	// experiments model per-packet ACKs as most handsets disable
+	// delayed ACKs for small RTT-sensitive flows — but available for
+	// realism studies.
+	DelayedAcks bool
+
+	pendingAck  bool
+	pendingPkt  netsim.Packet
+	delayTimer  *sim.Timer
+	acksSent    int64
+	acksDelayed int64
+
+	// stats
+	received   int64
+	duplicates int64
+}
+
+// NewSubflowRecv builds the receive side. The caller wires OnPacket to
+// the path's forward direction (directly, or through a netsim.Demux when
+// links are shared across connections).
+func NewSubflowRecv(eng *sim.Engine, path *netsim.Path, meta MetaSink, ackBytes int) *SubflowRecv {
+	if ackBytes <= 0 {
+		ackBytes = 60
+	}
+	return &SubflowRecv{
+		eng:      eng,
+		path:     path,
+		meta:     meta,
+		ackBytes: ackBytes,
+		buffered: make(map[int64]int),
+	}
+}
+
+// Expected returns the next subflow-level byte the receiver is waiting
+// for (the value it advertises as the cumulative ACK).
+func (r *SubflowRecv) Expected() int64 { return r.expected }
+
+// Received returns the count of data packets processed.
+func (r *SubflowRecv) Received() int64 { return r.received }
+
+// Duplicates returns the count of redundant segment arrivals.
+func (r *SubflowRecv) Duplicates() int64 { return r.duplicates }
+
+// AcksSent returns the number of ACK packets emitted.
+func (r *SubflowRecv) AcksSent() int64 { return r.acksSent }
+
+// AcksDelayed returns how many arrivals were coalesced by delayed ACKs.
+func (r *SubflowRecv) AcksDelayed() int64 { return r.acksDelayed }
+
+// OnPacket handles one arriving data packet and emits (or schedules) an
+// ACK.
+func (r *SubflowRecv) OnPacket(p netsim.Packet) {
+	if p.Kind != netsim.Data {
+		return
+	}
+	r.received++
+	inOrder := p.Seq == r.expected
+	if p.Seq >= r.expected {
+		if _, dup := r.buffered[p.Seq]; dup {
+			r.duplicates++
+		} else {
+			r.buffered[p.Seq] = p.PayloadLen
+		}
+	} else {
+		r.duplicates++
+	}
+	for {
+		l, ok := r.buffered[r.expected]
+		if !ok {
+			break
+		}
+		delete(r.buffered, r.expected)
+		r.expected += int64(l)
+	}
+	dataAck, window := r.meta.OnData(p)
+
+	if r.DelayedAcks && inOrder && len(r.buffered) == 0 && !r.pendingAck {
+		// First of a potential pair: hold the ACK briefly.
+		r.pendingAck = true
+		r.pendingPkt = p
+		r.acksDelayed++
+		r.delayTimer = r.eng.Schedule(40*time.Millisecond, func() {
+			r.flushPending()
+		})
+		return
+	}
+	r.cancelPending()
+	r.sendAck(p, dataAck, window)
+}
+
+// cancelPending drops the held ACK state (a fresher ACK supersedes it).
+func (r *SubflowRecv) cancelPending() {
+	if r.delayTimer != nil {
+		r.delayTimer.Cancel()
+		r.delayTimer = nil
+	}
+	r.pendingAck = false
+}
+
+// flushPending emits the held ACK after the delay timer fires.
+func (r *SubflowRecv) flushPending() {
+	if !r.pendingAck {
+		return
+	}
+	p := r.pendingPkt
+	r.cancelPending()
+	dataAck, window := r.meta.Snapshot()
+	r.sendAck(p, dataAck, window)
+}
+
+// sendAck emits one cumulative acknowledgement.
+func (r *SubflowRecv) sendAck(p netsim.Packet, dataAck, window int64) {
+	r.acksSent++
+	r.path.Reverse().Send(netsim.Packet{
+		Kind:           netsim.Ack,
+		Size:           r.ackBytes,
+		ConnID:         p.ConnID,
+		SubflowID:      p.SubflowID,
+		AckSeq:         r.expected,
+		DataAck:        dataAck,
+		Window:         window,
+		EchoSentAt:     p.SentAt,
+		EchoRetransmit: p.Retransmit,
+		SackHole:       len(r.buffered) > 0,
+	})
+}

@@ -1,0 +1,99 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRTTFirstSample(t *testing.T) {
+	e := NewRTTEstimator(0, 0)
+	e.Sample(100 * time.Millisecond)
+	if e.Srtt() != 100*time.Millisecond {
+		t.Fatalf("srtt = %v, want 100ms", e.Srtt())
+	}
+	if e.Var() != 50*time.Millisecond {
+		t.Fatalf("rttvar = %v, want 50ms", e.Var())
+	}
+	if e.StdDev() != 50*time.Millisecond {
+		t.Fatalf("mdev = %v, want 50ms", e.StdDev())
+	}
+}
+
+func TestRTTConvergesToConstant(t *testing.T) {
+	e := NewRTTEstimator(0, 0)
+	for i := 0; i < 200; i++ {
+		e.Sample(80 * time.Millisecond)
+	}
+	if d := e.Srtt() - 80*time.Millisecond; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("srtt = %v, want ~80ms", e.Srtt())
+	}
+	if e.StdDev() > time.Millisecond {
+		t.Fatalf("mdev = %v for constant samples, want ~0", e.StdDev())
+	}
+}
+
+func TestRTOBeforeSamples(t *testing.T) {
+	e := NewRTTEstimator(0, 0)
+	if e.RTO() != time.Second {
+		t.Fatalf("initial RTO = %v, want 1s", e.RTO())
+	}
+}
+
+func TestRTOMinClamp(t *testing.T) {
+	e := NewRTTEstimator(200*time.Millisecond, 0)
+	for i := 0; i < 100; i++ {
+		e.Sample(time.Millisecond)
+	}
+	if e.RTO() != 200*time.Millisecond {
+		t.Fatalf("RTO = %v, want clamped 200ms", e.RTO())
+	}
+}
+
+func TestRTOMaxClamp(t *testing.T) {
+	e := NewRTTEstimator(0, 2*time.Second)
+	for i := 0; i < 10; i++ {
+		e.Sample(10 * time.Second)
+	}
+	if e.RTO() != 2*time.Second {
+		t.Fatalf("RTO = %v, want clamped 2s", e.RTO())
+	}
+}
+
+func TestRTOAtLeastSrtt(t *testing.T) {
+	if err := quick.Check(func(ms uint16) bool {
+		e := NewRTTEstimator(0, 0)
+		d := time.Duration(ms%5000+1) * time.Millisecond
+		for i := 0; i < 20; i++ {
+			e.Sample(d)
+		}
+		return e.RTO() >= e.Srtt()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTTSampleCountAndNonPositive(t *testing.T) {
+	e := NewRTTEstimator(0, 0)
+	e.Sample(-5 * time.Millisecond) // treated as tiny positive
+	if e.Samples() != 1 {
+		t.Fatalf("samples = %d, want 1", e.Samples())
+	}
+	if e.Srtt() <= 0 {
+		t.Fatalf("srtt = %v, want positive", e.Srtt())
+	}
+}
+
+func TestRTTVariabilityRaisesStdDev(t *testing.T) {
+	e := NewRTTEstimator(0, 0)
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			e.Sample(50 * time.Millisecond)
+		} else {
+			e.Sample(150 * time.Millisecond)
+		}
+	}
+	if e.StdDev() < 20*time.Millisecond {
+		t.Fatalf("mdev = %v for alternating 50/150ms, want >= 20ms", e.StdDev())
+	}
+}

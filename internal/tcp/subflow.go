@@ -1,0 +1,553 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ConnHooks is the upcall interface from a subflow to its owning MPTCP
+// connection. The subflow handles everything at its own sequence level
+// (RTT, CWND, retransmission); the connection layer reacts to the
+// piggybacked data-level acknowledgement and tries to schedule more data.
+type ConnHooks interface {
+	// SubflowAcked is invoked after subflow-level processing of every ACK.
+	SubflowAcked(s *Subflow, dataAck, window int64)
+}
+
+// Config parameterizes a subflow.
+type Config struct {
+	// ConnID is the owning connection's identifier on shared links.
+	ConnID int
+	// ID is the subflow index within its connection.
+	ID int
+	// Name labels the subflow ("wifi", "lte").
+	Name string
+	// MSS is the payload bytes per segment. Zero selects 1400.
+	MSS int
+	// HeaderBytes is per-packet overhead on the wire. Zero selects 60
+	// (IP + TCP + MPTCP DSS option).
+	HeaderBytes int
+	// AckBytes is the wire size of a pure ACK. Zero selects 60.
+	AckBytes int
+	// InitialCwnd is the initial window in segments. Zero selects 10
+	// (RFC 6928, the value the paper's §3.2 example uses).
+	InitialCwnd float64
+	// IdleRestart enables the RFC 2861 congestion-window reset after the
+	// connection has been idle for an RTO. Figure 6 toggles this.
+	IdleRestart bool
+	// MinRTO clamps the retransmission timer. Zero selects 200 ms.
+	MinRTO time.Duration
+	// DisablePacing turns off sender pacing. By default transmissions
+	// are spaced at cwnd/srtt (doubled during slow start), as Linux's
+	// internal TCP pacing does; without it, window-opening ACKs release
+	// line-rate bursts that overflow shallow drop-tail buffers far below
+	// the window the path could sustain.
+	DisablePacing bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.HeaderBytes <= 0 {
+		c.HeaderBytes = 60
+	}
+	if c.AckBytes <= 0 {
+		c.AckBytes = 60
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 10
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+}
+
+// SubflowStats aggregates sender-side counters.
+type SubflowStats struct {
+	SegmentsSent    int64
+	BytesSent       int64 // payload bytes, first transmissions only
+	Retransmits     int64
+	FastRetransmits int64
+	Timeouts        int64
+	// IWResets counts events that return the window to (or below) the
+	// initial window: idle restarts and RTO backoffs. Table 3 reports
+	// this per scheduler.
+	IWResets int64
+	// IdleResets counts only the idle-restart subset of IWResets.
+	IdleResets int64
+}
+
+// maxBurstSegments bounds how far past the in-flight count the window may
+// point right after loss recovery (burst moderation, as in Linux's
+// tcp_moderate_cwnd with a slightly wider allowance).
+const maxBurstSegments = 10
+
+// segment is one in-flight subflow-level segment.
+type segment struct {
+	seq    int64 // subflow sequence (start byte)
+	dsn    int64 // data sequence (start byte)
+	length int
+	sentAt sim.Time
+	rtx    int // retransmission count
+}
+
+// Subflow is the sender side of one MPTCP subflow.
+type Subflow struct {
+	eng  *sim.Engine
+	cfg  Config
+	path *netsim.Path
+	conn ConnHooks
+	ctrl cc.Controller
+
+	nextSeq       int64
+	sndUna        int64
+	inflight      map[int64]*segment
+	inflightSegs  int
+	inflightBytes int
+
+	cwnd          float64
+	ssthresh      float64
+	recoveryPoint int64 // -1 when not in loss recovery
+	dupAcks       int
+	// dupSacked counts duplicate ACKs received during the current
+	// recovery episode. Each one means a segment left the network, so the
+	// effective in-flight count is reduced accordingly — the SACK-less
+	// equivalent of RFC 5681's window inflation, which keeps the pipe
+	// busy through multi-loss recovery instead of stalling for one hole
+	// per RTT.
+	dupSacked int
+
+	rtt        *RTTEstimator
+	rtoTimer   *sim.Timer
+	rtoBackoff time.Duration // multiplier, 1 when no backoff
+
+	lastSendTime sim.Time
+	everSent     bool
+	// idleBaseCwnd snapshots the window at the start of an idle period so
+	// repeated PrepareSend calls decay idempotently from the same base as
+	// the idle time grows (the kernel computes the decay once, at the
+	// actual transmit; we may be consulted several times before that).
+	idleBaseCwnd float64
+	idleCounted  bool
+	// nextPacedAt is the earliest time the pacer will release the next
+	// segment.
+	nextPacedAt sim.Time
+
+	stats SubflowStats
+
+	// debugHook, when set, observes recovery events (tests only).
+	debugHook func(ev string, args ...interface{})
+}
+
+// NewSubflow wires a sender onto path's forward link; ACKs arriving on the
+// reverse link must be fed to OnAck (the connection layer installs that).
+func NewSubflow(eng *sim.Engine, cfg Config, path *netsim.Path, ctrl cc.Controller, conn ConnHooks) *Subflow {
+	cfg.fillDefaults()
+	if ctrl == nil {
+		panic("tcp: nil congestion controller")
+	}
+	s := &Subflow{
+		eng:           eng,
+		cfg:           cfg,
+		path:          path,
+		conn:          conn,
+		ctrl:          ctrl,
+		inflight:      make(map[int64]*segment),
+		cwnd:          cfg.InitialCwnd,
+		ssthresh:      1 << 30,
+		recoveryPoint: -1,
+		rtt:           NewRTTEstimator(cfg.MinRTO, 0),
+		rtoBackoff:    1,
+	}
+	ctrl.Register(s)
+	return s
+}
+
+// ID returns the subflow index.
+func (s *Subflow) ID() int { return s.cfg.ID }
+
+// Name returns the subflow label.
+func (s *Subflow) Name() string { return s.cfg.Name }
+
+// Path returns the underlying network path.
+func (s *Subflow) Path() *netsim.Path { return s.path }
+
+// MSS returns the segment payload size in bytes.
+func (s *Subflow) MSS() int { return s.cfg.MSS }
+
+// Stats returns a copy of the counters.
+func (s *Subflow) Stats() SubflowStats { return s.stats }
+
+// Srtt returns the smoothed RTT estimate (0 before the first sample).
+func (s *Subflow) Srtt() time.Duration { return s.rtt.Srtt() }
+
+// SeedRTT initializes the RTT estimate with one measurement, as a kernel
+// does from the SYN/SYN-ACK handshake.
+func (s *Subflow) SeedRTT(rtt time.Duration) { s.rtt.Sample(rtt) }
+
+// RTTStdDev returns the RTT mean-deviation estimate — ECF's σ.
+func (s *Subflow) RTTStdDev() time.Duration { return s.rtt.StdDev() }
+
+// RTO returns the current retransmission timeout (without backoff).
+func (s *Subflow) RTO() time.Duration { return s.rtt.RTO() }
+
+// HasRTTSample reports whether at least one RTT measurement exists.
+func (s *Subflow) HasRTTSample() bool { return s.rtt.Samples() > 0 }
+
+// InflightSegments returns the number of unacknowledged segments.
+func (s *Subflow) InflightSegments() int { return s.inflightSegs }
+
+// InflightBytes returns unacknowledged payload bytes (the subflow-level
+// send-buffer occupancy the paper plots in Figure 3).
+func (s *Subflow) InflightBytes() int { return s.inflightBytes }
+
+// CwndSegments returns the congestion window in segments.
+func (s *Subflow) CwndSegments() float64 { return s.cwnd }
+
+// AvailableCwndSegments returns how many more segments the window allows.
+// During loss recovery the in-flight count is discounted by the duplicate
+// ACKs seen (segments known to have left the network).
+func (s *Subflow) AvailableCwndSegments() int {
+	eff := s.inflightSegs - s.dupSacked
+	if eff < 0 {
+		eff = 0
+	}
+	avail := int(s.cwnd) - eff
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// CanSend reports whether the congestion window has room for a segment.
+func (s *Subflow) CanSend() bool { return s.AvailableCwndSegments() > 0 }
+
+// cc.Flow implementation.
+
+// Cwnd implements cc.Flow.
+func (s *Subflow) Cwnd() float64 { return s.cwnd }
+
+// SetCwnd implements cc.Flow.
+func (s *Subflow) SetCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	s.cwnd = w
+}
+
+// Ssthresh implements cc.Flow.
+func (s *Subflow) Ssthresh() float64 { return s.ssthresh }
+
+// SetSsthresh implements cc.Flow.
+func (s *Subflow) SetSsthresh(w float64) { s.ssthresh = w }
+
+// SrttSeconds implements cc.Flow.
+func (s *Subflow) SrttSeconds() float64 { return s.rtt.Srtt().Seconds() }
+
+// InSlowStart implements cc.Flow.
+func (s *Subflow) InSlowStart() bool { return s.cwnd < s.ssthresh }
+
+// PrepareSend applies the idle-restart window reset if the subflow has
+// been quiescent for longer than its RTO (RFC 2861). The connection calls
+// this before consulting the scheduler so scheduling decisions see the
+// post-reset window — exactly as in the kernel, where the reset happens on
+// the transmit path.
+func (s *Subflow) PrepareSend() {
+	if !s.cfg.IdleRestart || !s.everSent || s.inflightSegs > 0 {
+		return
+	}
+	idle := s.eng.Now() - s.lastSendTime
+	rto := s.rtt.RTO()
+	if idle < rto {
+		return
+	}
+	if s.idleBaseCwnd == 0 {
+		s.idleBaseCwnd = s.cwnd
+	}
+	// Decay: halve once per full RTO idle, floored at the initial window
+	// (RFC 2861 / Linux tcp_cwnd_restart).
+	decayed := s.idleBaseCwnd
+	for t := idle; t >= rto && decayed > s.cfg.InitialCwnd; t -= rto {
+		decayed /= 2
+	}
+	if decayed < s.cfg.InitialCwnd {
+		decayed = s.cfg.InitialCwnd
+	}
+	if decayed < s.cwnd {
+		s.cwnd = decayed
+	}
+	if decayed <= s.cfg.InitialCwnd && !s.idleCounted {
+		s.idleCounted = true
+		s.stats.IWResets++
+		s.stats.IdleResets++
+	}
+}
+
+// SendSegment transmits payload [dsn, dsn+length) as a new subflow-level
+// segment. The caller must have verified CanSend.
+func (s *Subflow) SendSegment(dsn int64, length int) {
+	if length <= 0 {
+		panic(fmt.Sprintf("tcp: SendSegment with length %d", length))
+	}
+	seg := &segment{seq: s.nextSeq, dsn: dsn, length: length}
+	s.nextSeq += int64(length)
+	s.inflight[seg.seq] = seg
+	s.inflightSegs++
+	s.inflightBytes += length
+	s.stats.BytesSent += int64(length)
+	s.paceOut(seg)
+}
+
+// paceOut releases a segment through the pacer: transmissions are spaced
+// by srtt/cwnd (halved spacing during slow start, matching the kernel's
+// pacing gain of 2).
+func (s *Subflow) paceOut(seg *segment) {
+	if s.cfg.DisablePacing || s.rtt.Samples() == 0 {
+		s.transmit(seg)
+		return
+	}
+	cwnd := s.cwnd
+	if cwnd < 1 {
+		cwnd = 1
+	}
+	gain := 1.0
+	if s.InSlowStart() {
+		gain = 2.0
+	}
+	interval := time.Duration(float64(s.rtt.Srtt()) / (cwnd * gain))
+	now := s.eng.Now()
+	at := s.nextPacedAt
+	if at < now {
+		at = now
+	}
+	s.nextPacedAt = at + interval
+	if at <= now {
+		s.transmit(seg)
+		return
+	}
+	s.eng.At(at, func() { s.transmit(seg) })
+}
+
+// transmit pushes one segment onto the wire and (re)arms the RTO.
+func (s *Subflow) transmit(seg *segment) {
+	now := s.eng.Now()
+	seg.sentAt = now
+	s.lastSendTime = now
+	s.everSent = true
+	s.idleBaseCwnd = 0
+	s.idleCounted = false
+	s.stats.SegmentsSent++
+	pkt := netsim.Packet{
+		Kind:       netsim.Data,
+		Size:       seg.length + s.cfg.HeaderBytes,
+		ConnID:     s.cfg.ConnID,
+		SubflowID:  s.cfg.ID,
+		Seq:        seg.seq,
+		DSN:        seg.dsn,
+		PayloadLen: seg.length,
+		SentAt:     now,
+		Retransmit: seg.rtx > 0,
+	}
+	// A full drop-tail queue silently discards; recovery comes from
+	// dup-ACKs or the RTO, like on a real path.
+	s.path.Forward().Send(pkt)
+	s.armRTO()
+}
+
+func (s *Subflow) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if s.inflightSegs == 0 {
+		return
+	}
+	d := s.rtt.RTO() * s.rtoBackoff
+	s.rtoTimer = s.eng.Schedule(d, s.onRTO)
+}
+
+// onRTO handles a retransmission timeout: multiplicative decrease to a
+// one-segment window, exponential backoff, and go-back-N style recovery
+// driven by the cumulative ACK.
+func (s *Subflow) onRTO() {
+	s.rtoTimer = nil
+	if s.inflightSegs == 0 {
+		return
+	}
+	s.stats.Timeouts++
+	s.stats.IWResets++
+	ss := s.cwnd / 2
+	if ss < 2 {
+		ss = 2
+	}
+	s.ssthresh = ss
+	s.cwnd = 1
+	s.recoveryPoint = s.nextSeq
+	s.dupAcks = 0
+	s.dupSacked = 0
+	if s.rtoBackoff < 64 {
+		s.rtoBackoff *= 2
+	}
+	if seg, ok := s.inflight[s.sndUna]; ok {
+		seg.rtx++
+		s.stats.Retransmits++
+		s.transmit(seg)
+	} else {
+		s.armRTO()
+	}
+}
+
+// OnAck processes one ACK packet from the receiver.
+func (s *Subflow) OnAck(p netsim.Packet) {
+	if p.Kind != netsim.Ack {
+		panic("tcp: OnAck on non-ack packet")
+	}
+	switch {
+	case p.AckSeq > s.sndUna:
+		s.processNewAck(p)
+	case p.AckSeq == s.sndUna && p.SackHole && s.inflightSegs > 0:
+		s.dupAcks++
+		if s.recoveryPoint >= 0 {
+			s.dupSacked++
+		} else if s.dupAcks == 3 {
+			s.fastRetransmit()
+		}
+	}
+	if s.conn != nil {
+		s.conn.SubflowAcked(s, p.DataAck, p.Window)
+	}
+}
+
+func (s *Subflow) processNewAck(p netsim.Packet) {
+	acked := 0
+	for seq, seg := range s.inflight {
+		if seq+int64(seg.length) <= p.AckSeq {
+			delete(s.inflight, seq)
+			s.inflightSegs--
+			s.inflightBytes -= seg.length
+			acked++
+		}
+	}
+	s.sndUna = p.AckSeq
+	s.dupAcks = 0
+	s.rtoBackoff = 1
+	if s.recoveryPoint >= 0 {
+		// The cumulative advance consumed some of the dup-ACKed range.
+		s.dupSacked -= acked
+		if s.dupSacked < 0 {
+			s.dupSacked = 0
+		}
+	}
+	if !p.EchoRetransmit && p.EchoSentAt > 0 {
+		s.rtt.Sample(s.eng.Now() - p.EchoSentAt)
+	}
+	inRecovery := s.recoveryPoint >= 0
+	if inRecovery && s.sndUna >= s.recoveryPoint {
+		s.recoveryPoint = -1
+		s.dupSacked = 0
+		inRecovery = false
+		// Burst moderation (Linux tcp_moderate_cwnd): the exit ACK is
+		// typically a giant cumulative ACK that empties the pipe; without
+		// this clamp the sender would dump a full window back-to-back
+		// into the bottleneck queue and immediately lose again. Slow
+		// start restores the window within a few RTTs (ssthresh keeps
+		// the halved value).
+		if moderated := float64(s.inflightSegs) + maxBurstSegments; s.cwnd > moderated {
+			s.cwnd = moderated
+		}
+		if s.debugHook != nil {
+			s.debugHook("recovery-exit", "sndUna", s.sndUna/1400, "cwnd", s.cwnd, "inflight", s.inflightSegs)
+		}
+	}
+	if inRecovery {
+		// NewReno partial ACK: the cumulative ACK advanced but stopped
+		// short of the recovery point, exposing the next hole —
+		// retransmit it immediately rather than waiting for an RTO.
+		if seg, ok := s.inflight[s.sndUna]; ok {
+			seg.rtx++
+			s.stats.Retransmits++
+			s.transmit(seg)
+		}
+	}
+	if acked > 0 && !inRecovery {
+		if s.InSlowStart() {
+			s.cwnd += float64(acked)
+			if s.cwnd > s.ssthresh {
+				s.cwnd = s.ssthresh
+			}
+			s.maybeExitSlowStart()
+		} else {
+			s.ctrl.OnAck(s, acked)
+		}
+	}
+	s.armRTO()
+}
+
+// maybeExitSlowStart implements a HyStart-style delay-based slow-start
+// exit (as Linux does): when the latest RTT sample exceeds the minimum
+// observed RTT by more than a clamped eighth, queueing has begun and the
+// window stops doubling. This avoids the massive drop-tail burst losses a
+// pure loss-based exit would take on every connection start.
+func (s *Subflow) maybeExitSlowStart() {
+	if s.rtt.Samples() < 8 {
+		return
+	}
+	minRTT := s.rtt.Min()
+	thresh := minRTT / 8
+	const lo, hi = 4 * time.Millisecond, 16 * time.Millisecond
+	if thresh < lo {
+		thresh = lo
+	}
+	if thresh > hi {
+		thresh = hi
+	}
+	if s.rtt.RecentMin() > minRTT+thresh {
+		s.ssthresh = s.cwnd
+	}
+}
+
+// fastRetransmit reacts to three duplicate ACKs.
+func (s *Subflow) fastRetransmit() {
+	seg, ok := s.inflight[s.sndUna]
+	if !ok {
+		return
+	}
+	s.ctrl.OnLoss(s)
+	if s.cwnd <= s.cfg.InitialCwnd {
+		s.stats.IWResets++
+	}
+	if s.debugHook != nil {
+		s.debugHook("fast-rtx", "sndUna", s.sndUna/1400, "recPt", s.nextSeq/1400, "cwnd", s.cwnd, "inflight", s.inflightSegs)
+	}
+	s.recoveryPoint = s.nextSeq
+	s.stats.FastRetransmits++
+	s.stats.Retransmits++
+	seg.rtx++
+	s.transmit(seg)
+}
+
+// Penalize halves the window and slow-start threshold. The connection
+// layer invokes this on the subflow that is blocking the send window, as
+// part of the opportunistic-retransmission/penalization mechanism
+// (Raiciu et al., NSDI'12) that the paper keeps enabled throughout.
+func (s *Subflow) Penalize() {
+	s.ctrl.OnLoss(s)
+}
+
+// Close detaches the subflow from its congestion controller and stops the
+// retransmission timer.
+func (s *Subflow) Close() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	s.ctrl.Unregister(s)
+}
+
+// AckPacketSize returns the configured wire size of pure ACKs.
+func (s *Subflow) AckPacketSize() int { return s.cfg.AckBytes }

@@ -1,0 +1,136 @@
+// Package web models the paper's two HTTP workloads: simple single-file
+// downloads (wget, §5.4) and full-page browsing — a CNN-like page of 107
+// objects fetched over six parallel persistent MPTCP connections (§5.5).
+package web
+
+import (
+	"time"
+
+	"repro/internal/mptcp"
+	"repro/internal/sim"
+)
+
+// ObjectResult is one completed object download.
+type ObjectResult struct {
+	// Index is the object's position in the page manifest.
+	Index int
+	// Bytes is the object size.
+	Bytes int64
+	// ConnID is the connection that carried it.
+	ConnID int
+	// RequestedAt/CompletedAt bound the client-observed download.
+	RequestedAt sim.Time
+	CompletedAt sim.Time
+}
+
+// Duration returns the client-observed completion time — the quantity of
+// Figures 18-20 and 23(a).
+func (o ObjectResult) Duration() time.Duration { return o.CompletedAt - o.RequestedAt }
+
+// PageResult aggregates a full page fetch.
+type PageResult struct {
+	Objects []ObjectResult
+	// PageLoadTime is from first request to last completion.
+	PageLoadTime time.Duration
+}
+
+// CompletionTimes returns the per-object durations.
+func (p *PageResult) CompletionTimes() []time.Duration {
+	out := make([]time.Duration, len(p.Objects))
+	for i, o := range p.Objects {
+		out[i] = o.Duration()
+	}
+	return out
+}
+
+// Download fetches one object of the given size over conn and hands the
+// result to done. It models wget: one request, one response.
+func Download(conn *mptcp.Conn, bytes int64, done func(ObjectResult)) {
+	conn.Request(bytes, func(tr *mptcp.Transfer) {
+		done(ObjectResult{
+			Bytes:       bytes,
+			ConnID:      conn.ID(),
+			RequestedAt: tr.RequestedAt,
+			CompletedAt: tr.CompletedAt,
+		})
+	})
+}
+
+// PageConfig parameterizes a page fetch.
+type PageConfig struct {
+	// Objects are the object sizes, fetched in manifest order.
+	Objects []int64
+	// ThinkTime is the client-side gap between finishing one object and
+	// requesting the next on the same connection (parse/layout work).
+	// Zero means back-to-back requests.
+	ThinkTime time.Duration
+}
+
+// FetchPage downloads all objects over the given persistent connections,
+// dispatching greedily: every idle connection takes the next object from
+// the manifest, like a browser multiplexing six parallel HTTP/1.1
+// connections. done fires once all objects have completed.
+func FetchPage(eng *sim.Engine, conns []*mptcp.Conn, cfg PageConfig, done func(*PageResult)) {
+	if len(conns) == 0 || len(cfg.Objects) == 0 {
+		panic("web: FetchPage needs connections and objects")
+	}
+	res := &PageResult{}
+	start := eng.Now()
+	next := 0
+	remaining := len(cfg.Objects)
+
+	var fetch func(conn *mptcp.Conn)
+	fetch = func(conn *mptcp.Conn) {
+		if next >= len(cfg.Objects) {
+			return
+		}
+		idx := next
+		size := cfg.Objects[idx]
+		next++
+		conn.Request(size, func(tr *mptcp.Transfer) {
+			res.Objects = append(res.Objects, ObjectResult{
+				Index:       idx,
+				Bytes:       size,
+				ConnID:      conn.ID(),
+				RequestedAt: tr.RequestedAt,
+				CompletedAt: tr.CompletedAt,
+			})
+			remaining--
+			if remaining == 0 {
+				res.PageLoadTime = eng.Now() - start
+				if done != nil {
+					done(res)
+				}
+				return
+			}
+			if cfg.ThinkTime > 0 {
+				eng.Schedule(cfg.ThinkTime, func() { fetch(conn) })
+			} else {
+				fetch(conn)
+			}
+		})
+	}
+	for _, conn := range conns {
+		fetch(conn)
+	}
+}
+
+// CNNPageObjects synthesizes a 107-object manifest shaped like the
+// paper's 9/11/2014 copy of the CNN home page: one HTML document, many
+// small icons/scripts, a band of medium assets and a tail of large
+// images, ~2.5 MB in total. Deterministic for a given seed.
+func CNNPageObjects(seed uint64) []int64 {
+	rng := sim.NewRNG(seed ^ 0xC44)
+	out := make([]int64, 0, 107)
+	out = append(out, 110_000) // the HTML document
+	for i := 0; i < 64; i++ {  // small: 1-15 KB (icons, scripts, beacons)
+		out = append(out, 1_000+int64(rng.Intn(14_000)))
+	}
+	for i := 0; i < 28; i++ { // medium: 15-60 KB (thumbnails, CSS, JS)
+		out = append(out, 15_000+int64(rng.Intn(45_000)))
+	}
+	for i := 0; i < 14; i++ { // large: 60-300 KB (hero images)
+		out = append(out, 60_000+int64(rng.Intn(240_000)))
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package web
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mptcp"
+)
+
+func TestCNNPageShape(t *testing.T) {
+	objs := CNNPageObjects(1)
+	if len(objs) != 107 {
+		t.Fatalf("object count = %d, want 107 (as deployed in §5.5)", len(objs))
+	}
+	var total int64
+	for _, o := range objs {
+		if o <= 0 {
+			t.Fatal("non-positive object size")
+		}
+		total += o
+	}
+	if total < 1_500_000 || total > 4_500_000 {
+		t.Fatalf("page total = %d bytes, want ~2.5 MB", total)
+	}
+}
+
+func TestCNNPageDeterministic(t *testing.T) {
+	a := CNNPageObjects(7)
+	b := CNNPageObjects(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different manifests")
+		}
+	}
+	c := CNNPageObjects(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical manifests")
+	}
+}
+
+func TestDownload(t *testing.T) {
+	net := core.NewNetwork(core.DefaultPaths(5, 5))
+	conn := net.NewConn(core.ConnOptions{Scheduler: "ecf"})
+	var got *ObjectResult
+	Download(conn, 512_000, func(o ObjectResult) { got = &o })
+	net.RunAll()
+	if got == nil {
+		t.Fatal("download did not complete")
+	}
+	if got.Bytes != 512_000 || got.Duration() <= 0 {
+		t.Fatalf("result = %+v", got)
+	}
+	// 512 KB over ~10 Mbps aggregate: should be well under 3 s.
+	if got.Duration() > 3*time.Second {
+		t.Fatalf("duration = %v, too slow", got.Duration())
+	}
+}
+
+func fetchCNN(t *testing.T, schedName string, wifiMbps, lteMbps float64, nConns int) *PageResult {
+	t.Helper()
+	net := core.NewNetwork(core.DefaultPaths(wifiMbps, lteMbps))
+	conns := make([]*mptcp.Conn, nConns)
+	for i := range conns {
+		conns[i] = net.NewConn(core.ConnOptions{Scheduler: schedName})
+	}
+	var out *PageResult
+	FetchPage(net.Engine(), conns, PageConfig{
+		Objects:   CNNPageObjects(3),
+		ThinkTime: 20 * time.Millisecond,
+	}, func(r *PageResult) { out = r })
+	net.RunAll()
+	if out == nil {
+		t.Fatalf("page fetch (%s) did not complete", schedName)
+	}
+	return out
+}
+
+func TestFetchPageCompletesAllObjects(t *testing.T) {
+	res := fetchCNN(t, "minrtt", 5, 5, 6)
+	if len(res.Objects) != 107 {
+		t.Fatalf("completed %d objects, want 107", len(res.Objects))
+	}
+	if res.PageLoadTime <= 0 {
+		t.Fatal("no page load time")
+	}
+	// All six connections should have carried traffic.
+	used := map[int]bool{}
+	for _, o := range res.Objects {
+		used[o.ConnID] = true
+	}
+	if len(used) != 6 {
+		t.Fatalf("connections used = %d, want 6", len(used))
+	}
+}
+
+func TestFetchPageSingleConn(t *testing.T) {
+	res := fetchCNN(t, "ecf", 5, 5, 1)
+	if len(res.Objects) != 107 {
+		t.Fatalf("completed %d objects, want 107", len(res.Objects))
+	}
+	// Sequential on one connection: completions must be in manifest order.
+	for i := 1; i < len(res.Objects); i++ {
+		if res.Objects[i].Index < res.Objects[i-1].Index {
+			t.Fatal("single-connection completions out of manifest order")
+		}
+	}
+}
+
+func TestECFPageTailBetterHeterogeneous(t *testing.T) {
+	// §5.5's claim is about the object completion-time distribution:
+	// "ECF completes 99% of object downloads earlier than the other
+	// schedulers" at 1/10 Mbps. Assert the tail improves and the median
+	// does not regress. (Aggregate page-load time is not a paper metric:
+	// ECF deliberately leaves the slow path idle at burst tails.)
+	quantile := func(r *PageResult, q float64) time.Duration {
+		ds := r.CompletionTimes()
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[int(float64(len(ds)-1)*q)]
+	}
+	def := fetchCNN(t, "minrtt", 1, 10, 6)
+	ecf := fetchCNN(t, "ecf", 1, 10, 6)
+	if quantile(ecf, 0.99) > quantile(def, 0.99) {
+		t.Fatalf("ecf p99 %v worse than default %v", quantile(ecf, 0.99), quantile(def, 0.99))
+	}
+	if quantile(ecf, 0.5) > quantile(def, 0.5)*12/10 {
+		t.Fatalf("ecf median %v much worse than default %v", quantile(ecf, 0.5), quantile(def, 0.5))
+	}
+}
+
+func TestFetchPagePanicsOnEmpty(t *testing.T) {
+	net := core.NewNetwork(core.DefaultPaths(5, 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty FetchPage did not panic")
+		}
+	}()
+	FetchPage(net.Engine(), nil, PageConfig{Objects: []int64{1}}, nil)
+}
