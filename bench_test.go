@@ -2,7 +2,7 @@ package repro
 
 // The benchmark harness: one testing.B benchmark per table and figure of
 // the paper, plus ablation benches for the design choices called out in
-// DESIGN.md §5. Run with:
+// the design notes below. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -43,7 +43,7 @@ func BenchmarkTable1Ladder(b *testing.B) {
 func BenchmarkTable2RTT(b *testing.B) {
 	var r *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		r = experiments.Table2()
+		r = experiments.Table2(benchScale)
 	}
 	b.ReportMetric(float64(r.WifiRTT[0].Milliseconds()), "wifi-rtt@0.3Mbps-ms")
 	b.ReportMetric(float64(r.WifiRTT[5].Milliseconds()), "wifi-rtt@8.6Mbps-ms")
@@ -271,7 +271,7 @@ func BenchmarkFigure23WildWeb(b *testing.B) {
 	b.ReportMetric(r.MeanCompletion["ecf"].Seconds(), "ecf-completion-s")
 }
 
-// --- Ablation benches (DESIGN.md §5) ---
+// --- Ablation benches (design-choice studies) ---
 
 func BenchmarkAblationBeta(b *testing.B) {
 	for i := 0; i < b.N; i++ {

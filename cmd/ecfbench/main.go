@@ -5,11 +5,12 @@
 //	ecfbench -list
 //	ecfbench -exp fig9
 //	ecfbench -exp table3 -scale quick
-//	ecfbench -exp all
+//	ecfbench -exp all -j 8
 //
-// Each experiment prints the same rows/series the paper reports
-// (see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured values).
+// Each experiment prints the same rows/series the paper reports (see
+// README.md for the experiment index). -j fans the experiment's
+// independent simulation cells across that many workers; the output is
+// byte-identical for any -j value.
 package main
 
 import (
@@ -32,7 +33,7 @@ type experiment struct {
 
 var catalog = []experiment{
 	{"table1", "video bit rates vs. resolution", func(experiments.Scale) fmt.Stringer { return experiments.Table1() }},
-	{"table2", "avg RTT with bandwidth regulation", func(experiments.Scale) fmt.Stringer { return experiments.Table2() }},
+	{"table2", "avg RTT with bandwidth regulation", func(sc experiments.Scale) fmt.Stringer { return experiments.Table2(sc) }},
 	{"table3", "# of IW resets per scheduler (0.3/8.6)", func(sc experiments.Scale) fmt.Stringer { return experiments.Table3(sc) }},
 	{"table4", "wild web browsing averages", func(sc experiments.Scale) fmt.Stringer { return experiments.Table4(sc) }},
 	{"fig1", "ON-OFF download pattern", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure1(sc) }},
@@ -63,6 +64,7 @@ func main() {
 		expName = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
 		scale   = flag.String("scale", "full", "scale profile: full or quick")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		jobs    = flag.Int("j", 0, "worker count for the simulation matrix (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -90,6 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (full|quick)\n", *scale)
 		os.Exit(2)
 	}
+	sc.Workers = *jobs
 
 	run := func(e experiment) {
 		start := time.Now()
@@ -98,9 +101,11 @@ func main() {
 	}
 
 	if *expName == "all" {
+		start := time.Now()
 		for _, e := range catalog {
 			run(e)
 		}
+		fmt.Printf("=== all %d experiments — %v total ===\n", len(catalog), time.Since(start).Round(time.Millisecond))
 		return
 	}
 	for _, e := range catalog {

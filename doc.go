@@ -10,6 +10,6 @@
 // stack and web workloads — plus a benchmark harness (bench_test.go and
 // cmd/ecfbench) that regenerates every table and figure.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour of the packages, how to run the harness,
+// and the experiment index.
 package repro

@@ -33,5 +33,5 @@ func main() {
 	}
 	fmt.Println("\nSingle-object downloads barely separate the schedulers (paper Fig 18/19:")
 	fmt.Println("parity at small sizes, up to ~20% ECF wins at 512 KB+ on their testbed;")
-	fmt.Println("this substrate lands at parity — see EXPERIMENTS.md).")
+	fmt.Println("this substrate lands at parity).")
 }

@@ -1,17 +1,24 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation. Each driver runs the simulation matrix for its
 // experiment and returns a result type whose String method prints the
-// same rows/series the paper reports. DESIGN.md carries the experiment
-// index; EXPERIMENTS.md records paper-vs-measured values.
+// same rows/series the paper reports. README.md carries the experiment
+// index.
+//
+// Every driver enumerates its independent simulation cells as jobs for
+// the internal/runner worker pool and collects results into pre-sized,
+// cell-indexed storage, so output is byte-identical for any Workers
+// setting.
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dash"
 	"repro/internal/metrics"
 	"repro/internal/mptcp"
+	"repro/internal/runner"
 )
 
 // Scale sets experiment sizes. The paper streams a 20-minute playout per
@@ -31,6 +38,11 @@ type Scale struct {
 	WebRuns int
 	// WildWebRuns is the §6.3 run count.
 	WildWebRuns int
+	// Workers bounds how many simulation cells run concurrently (the
+	// ecfbench -j flag). Zero selects GOMAXPROCS. Every cell is an
+	// independent simulation seeded by its own index, so results are
+	// byte-identical for any worker count.
+	Workers int
 }
 
 // Full is the bench-scale profile.
@@ -214,6 +226,21 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 	}
 	out.OOODelays = conn.Receiver().OOODelays()
 	return out
+}
+
+// forEach fans the n independent cells of one experiment across the
+// scale's worker pool. Each cell must derive everything (topology,
+// seeds, parameters) from its index i and write its result into
+// pre-sized storage indexed by i, so aggregation is order-independent
+// and the sweep's output does not depend on sc.Workers.
+func forEach(sc Scale, n int, fn func(i int)) {
+	// The closures never return errors and the context is never
+	// cancelled, so the only non-nil outcome is a panic, which ForEach
+	// re-raises in this goroutine.
+	_ = runner.New(sc.Workers).ForEach(context.Background(), n, func(_ context.Context, i int) error {
+		fn(i)
+		return nil
+	})
 }
 
 // seconds converts a float of seconds to a duration.

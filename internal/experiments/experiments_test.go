@@ -17,7 +17,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestTable2RTTShape(t *testing.T) {
-	r := Table2()
+	r := Table2(Quick)
 	// RTT must decrease monotonically with bandwidth (Table 2's shape).
 	for i := 1; i < len(r.BandwidthsMbps); i++ {
 		if r.WifiRTT[i] >= r.WifiRTT[i-1] {
@@ -199,7 +199,7 @@ func TestFigure22WildShapes(t *testing.T) {
 	}
 	// The paper reports a 16% ECF gain in the wild; our synthetic wild
 	// paths reproduce the per-run RTT spread but land near parity (see
-	// EXPERIMENTS.md for the discussion). Assert ECF does not lose
+	// README.md for the harness tour). Assert ECF does not lose
 	// meaningfully.
 	def, ecf := r.MeanThroughput()
 	if ecf < def*0.85 {

@@ -35,41 +35,45 @@ type GridResult struct {
 	Bandwidths []float64
 }
 
-// RunGrid sweeps the §5.2 bandwidth grid for one scheduler.
+// RunGrid sweeps the §5.2 bandwidth grid for one scheduler, fanning the
+// 36 independent cells across the scale's worker pool.
 // disableIdleRestart supports the Figure 6 ablation.
 func RunGrid(scheduler string, sc Scale, disableIdleRestart bool) *GridResult {
 	bws := trace.GridBandwidthsMbps
 	res := &GridResult{Scheduler: scheduler, Bandwidths: bws}
 	res.Cells = make([][]GridCell, len(bws))
-	for i, wifi := range bws {
+	for i := range res.Cells {
 		res.Cells[i] = make([]GridCell, len(bws))
-		for j, lte := range bws {
-			out := RunStreaming(StreamConfig{
-				WifiMbps:           wifi,
-				LteMbps:            lte,
-				Scheduler:          scheduler,
-				VideoSec:           sc.GridVideoSec,
-				DisableIdleRestart: disableIdleRestart,
-			})
-			ideal := dash.IdealBitrateMbps(wifi+lte, dash.StandardLadder)
-			cell := GridCell{
-				WifiMbps:            wifi,
-				LteMbps:             lte,
-				ThroughputMbps:      out.Result.AvgThroughputMbps(),
-				IdealThroughputMbps: wifi + lte,
-				FastFraction:        out.FastFraction,
-				IdealFraction:       out.IdealFraction,
-				IWResets:            out.IWResets,
-			}
-			if ideal > 0 {
-				cell.BitrateRatio = out.Result.AvgBitrateMbps() / ideal
-				if cell.BitrateRatio > 1 {
-					cell.BitrateRatio = 1
-				}
-			}
-			res.Cells[i][j] = cell
-		}
 	}
+	n := len(bws)
+	forEach(sc, n*n, func(k int) {
+		i, j := k/n, k%n
+		wifi, lte := bws[i], bws[j]
+		out := RunStreaming(StreamConfig{
+			WifiMbps:           wifi,
+			LteMbps:            lte,
+			Scheduler:          scheduler,
+			VideoSec:           sc.GridVideoSec,
+			DisableIdleRestart: disableIdleRestart,
+		})
+		ideal := dash.IdealBitrateMbps(wifi+lte, dash.StandardLadder)
+		cell := GridCell{
+			WifiMbps:            wifi,
+			LteMbps:             lte,
+			ThroughputMbps:      out.Result.AvgThroughputMbps(),
+			IdealThroughputMbps: wifi + lte,
+			FastFraction:        out.FastFraction,
+			IdealFraction:       out.IdealFraction,
+			IWResets:            out.IWResets,
+		}
+		if ideal > 0 {
+			cell.BitrateRatio = out.Result.AvgBitrateMbps() / ideal
+			if cell.BitrateRatio > 1 {
+				cell.BitrateRatio = 1
+			}
+		}
+		res.Cells[i][j] = cell
+	})
 	return res
 }
 
@@ -247,30 +251,37 @@ type Figure15Result struct {
 	ECFRatio      []float64
 }
 
-// Figure15 compares default vs ECF with four subflows.
+// Figure15 compares default vs ECF with four subflows; the 12
+// (bandwidth, scheduler) cells run as one parallel batch.
 func Figure15(sc Scale) *Figure15Result {
-	res := &Figure15Result{LteBandwidths: trace.GridBandwidthsMbps}
-	for _, lte := range trace.GridBandwidthsMbps {
-		ideal := dash.IdealBitrateMbps(0.3+lte, dash.StandardLadder)
-		for _, s := range []string{"minrtt", "ecf"} {
-			out := RunStreaming(StreamConfig{
-				WifiMbps:        0.3,
-				LteMbps:         lte,
-				Scheduler:       s,
-				VideoSec:        sc.GridVideoSec,
-				SubflowsPerPath: 2,
-			})
-			ratio := out.Result.AvgBitrateMbps() / ideal
-			if ratio > 1 {
-				ratio = 1
-			}
-			if s == "minrtt" {
-				res.DefaultRatio = append(res.DefaultRatio, ratio)
-			} else {
-				res.ECFRatio = append(res.ECFRatio, ratio)
-			}
-		}
+	bws := trace.GridBandwidthsMbps
+	res := &Figure15Result{
+		LteBandwidths: bws,
+		DefaultRatio:  make([]float64, len(bws)),
+		ECFRatio:      make([]float64, len(bws)),
 	}
+	schedulers := []string{"minrtt", "ecf"}
+	forEach(sc, len(bws)*len(schedulers), func(k int) {
+		li, si := k/len(schedulers), k%len(schedulers)
+		lte := bws[li]
+		ideal := dash.IdealBitrateMbps(0.3+lte, dash.StandardLadder)
+		out := RunStreaming(StreamConfig{
+			WifiMbps:        0.3,
+			LteMbps:         lte,
+			Scheduler:       schedulers[si],
+			VideoSec:        sc.GridVideoSec,
+			SubflowsPerPath: 2,
+		})
+		ratio := out.Result.AvgBitrateMbps() / ideal
+		if ratio > 1 {
+			ratio = 1
+		}
+		if si == 0 {
+			res.DefaultRatio[li] = ratio
+		} else {
+			res.ECFRatio[li] = ratio
+		}
+	})
 	return res
 }
 

@@ -30,12 +30,16 @@ func Figure16(sc Scale) *Figure16Result {
 		Schedulers: schedulers,
 		Throughput: make(map[string][]float64),
 	}
+	// Pre-size before the fan-out: workers write disjoint (scheduler,
+	// scenario) slots and never touch the map itself.
 	for _, s := range schedulers {
-		for scen := 0; scen < sc.RandomScenarios; scen++ {
-			out := runRandomScenario(s, uint64(scen+1), sc)
-			res.Throughput[s] = append(res.Throughput[s], out.Result.AvgThroughputMbps())
-		}
+		res.Throughput[s] = make([]float64, sc.RandomScenarios)
 	}
+	forEach(sc, len(schedulers)*sc.RandomScenarios, func(k int) {
+		si, scen := k/sc.RandomScenarios, k%sc.RandomScenarios
+		out := runRandomScenario(schedulers[si], uint64(scen+1), sc)
+		res.Throughput[schedulers[si]][scen] = out.Result.AvgThroughputMbps()
+	})
 	return res
 }
 
@@ -97,8 +101,12 @@ func Figure17(sc Scale) *Figure17Result {
 		scen = sc.RandomScenarios
 	}
 	res := &Figure17Result{Scenario: scen}
-	res.Default = runRandomScenario("minrtt", uint64(scen), sc).Result.ChunkThroughputsMbps()
-	res.ECF = runRandomScenario("ecf", uint64(scen), sc).Result.ChunkThroughputsMbps()
+	traces := make([][]float64, 2)
+	schedulers := []string{"minrtt", "ecf"}
+	forEach(sc, len(schedulers), func(i int) {
+		traces[i] = runRandomScenario(schedulers[i], uint64(scen), sc).Result.ChunkThroughputsMbps()
+	})
+	res.Default, res.ECF = traces[0], traces[1]
 	return res
 }
 

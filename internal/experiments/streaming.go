@@ -134,16 +134,19 @@ var figure5Pairs = []float64{0.3, 0.7, 1.1, 4.2}
 // Figure5 measures, per chunk, the time difference between the last
 // packets received on each path under the default scheduler.
 func Figure5(sc Scale) *Figure5Result {
-	res := &Figure5Result{WifiBandwidths: figure5Pairs}
-	for _, wifi := range figure5Pairs {
+	res := &Figure5Result{
+		WifiBandwidths: figure5Pairs,
+		CDFs:           make([]*metrics.CDF, len(figure5Pairs)),
+	}
+	forEach(sc, len(figure5Pairs), func(i int) {
 		out := RunStreaming(StreamConfig{
-			WifiMbps: wifi, LteMbps: 8.6,
+			WifiMbps: figure5Pairs[i], LteMbps: 8.6,
 			Scheduler: "minrtt",
 			VideoSec:  sc.VideoSec,
 		})
-		res.CDFs = append(res.CDFs, metrics.NewCDF(
-			metrics.DurationsToSeconds(out.Result.LastPacketDiffs())))
-	}
+		res.CDFs[i] = metrics.NewCDF(
+			metrics.DurationsToSeconds(out.Result.LastPacketDiffs()))
+	})
 	return res
 }
 
@@ -187,14 +190,18 @@ func cwndTrace(fig string, subflowIdx int, sc Scale) *CwndTraceResult {
 		Schedulers: []string{"minrtt", "daps", "blest", "ecf"},
 		Traces:     make(map[string]*metrics.TimeSeries),
 	}
-	for _, s := range res.Schedulers {
+	traces := make([]*metrics.TimeSeries, len(res.Schedulers))
+	forEach(sc, len(res.Schedulers), func(i int) {
 		out := RunStreaming(StreamConfig{
 			WifiMbps: 0.3, LteMbps: 8.6,
-			Scheduler:      s,
+			Scheduler:      res.Schedulers[i],
 			VideoSec:       sc.VideoSec,
 			SampleInterval: 100 * time.Millisecond,
 		})
-		res.Traces[s] = out.CwndTraces[subflowIdx]
+		traces[i] = out.CwndTraces[subflowIdx]
+	})
+	for i, s := range res.Schedulers {
+		res.Traces[s] = traces[i]
 	}
 	return res
 }
@@ -237,15 +244,19 @@ type OOOResult struct {
 }
 
 // oooRun collects OOO delays per scheduler at one bandwidth pair.
-func oooRun(label string, wifi, lte float64, schedulers []string, videoSec float64) *OOOResult {
+func oooRun(label string, wifi, lte float64, schedulers []string, sc Scale) *OOOResult {
 	res := &OOOResult{Label: label, Schedulers: schedulers, CDFs: make(map[string]*metrics.CDF)}
-	for _, s := range schedulers {
+	cdfs := make([]*metrics.CDF, len(schedulers))
+	forEach(sc, len(schedulers), func(i int) {
 		out := RunStreaming(StreamConfig{
 			WifiMbps: wifi, LteMbps: lte,
-			Scheduler: s,
-			VideoSec:  videoSec,
+			Scheduler: schedulers[i],
+			VideoSec:  sc.VideoSec,
 		})
-		res.CDFs[s] = metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays))
+		cdfs[i] = metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays))
+	})
+	for i, s := range schedulers {
+		res.CDFs[s] = cdfs[i]
 	}
 	return res
 }
@@ -259,15 +270,18 @@ type Figure13Result struct {
 // Figure13 measures OOO-delay CCDFs for the default scheduler at the
 // four x-8.6 pairs.
 func Figure13(sc Scale) *Figure13Result {
-	res := &Figure13Result{WifiBandwidths: figure5Pairs}
-	for _, wifi := range figure5Pairs {
+	res := &Figure13Result{
+		WifiBandwidths: figure5Pairs,
+		CDFs:           make([]*metrics.CDF, len(figure5Pairs)),
+	}
+	forEach(sc, len(figure5Pairs), func(i int) {
 		out := RunStreaming(StreamConfig{
-			WifiMbps: wifi, LteMbps: 8.6,
+			WifiMbps: figure5Pairs[i], LteMbps: 8.6,
 			Scheduler: "minrtt",
 			VideoSec:  sc.VideoSec,
 		})
-		res.CDFs = append(res.CDFs, metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays)))
-	}
+		res.CDFs[i] = metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays))
+	})
 	return res
 }
 
@@ -298,8 +312,8 @@ type Figure14Result struct {
 func Figure14(sc Scale) *Figure14Result {
 	scheds := []string{"minrtt", "daps", "blest", "ecf"}
 	return &Figure14Result{
-		Heterogeneous: oooRun("0.3 Mbps WiFi and 8.6 Mbps LTE", 0.3, 8.6, scheds, sc.VideoSec),
-		Symmetric:     oooRun("4.2 Mbps WiFi and 8.6 Mbps LTE", 4.2, 8.6, scheds, sc.VideoSec),
+		Heterogeneous: oooRun("0.3 Mbps WiFi and 8.6 Mbps LTE", 0.3, 8.6, scheds, sc),
+		Symmetric:     oooRun("4.2 Mbps WiFi and 8.6 Mbps LTE", 4.2, 8.6, scheds, sc),
 	}
 }
 

@@ -43,15 +43,26 @@ type Table2Result struct {
 }
 
 // Table2 measures average RTT under a saturating bulk transfer at each
-// regulated bandwidth, per interface. The paper's numbers (WiFi 969 ms at
-// 0.3 Mbps down to 40 ms at 8.6) come from tc buffering; ours come from
-// the same mechanism — a drop-tail buffer ahead of the shaped link.
-func Table2() *Table2Result {
-	res := &Table2Result{BandwidthsMbps: trace.GridBandwidthsMbps}
-	for _, bw := range trace.GridBandwidthsMbps {
-		res.WifiRTT = append(res.WifiRTT, measureLoadedRTT("wifi", bw, core.WiFiBaseRTT))
-		res.LteRTT = append(res.LteRTT, measureLoadedRTT("lte", bw, core.LTEBaseRTT))
+// regulated bandwidth, per interface — 12 independent (bandwidth,
+// interface) cells fanned across the worker pool. The paper's numbers
+// (WiFi 969 ms at 0.3 Mbps down to 40 ms at 8.6) come from tc buffering;
+// ours come from the same mechanism — a drop-tail buffer ahead of the
+// shaped link.
+func Table2(sc Scale) *Table2Result {
+	bws := trace.GridBandwidthsMbps
+	res := &Table2Result{
+		BandwidthsMbps: bws,
+		WifiRTT:        make([]time.Duration, len(bws)),
+		LteRTT:         make([]time.Duration, len(bws)),
 	}
+	forEach(sc, len(bws)*2, func(k int) {
+		bw := bws[k/2]
+		if k%2 == 0 {
+			res.WifiRTT[k/2] = measureLoadedRTT("wifi", bw, core.WiFiBaseRTT)
+		} else {
+			res.LteRTT[k/2] = measureLoadedRTT("lte", bw, core.LTEBaseRTT)
+		}
+	})
 	return res
 }
 
@@ -114,16 +125,19 @@ type Table3Result struct {
 // Table3 runs 0.3 Mbps WiFi / 8.6 Mbps LTE streaming per scheduler and
 // counts window resets.
 func Table3(sc Scale) *Table3Result {
-	res := &Table3Result{}
-	for _, s := range []string{"minrtt", "daps", "blest", "ecf"} {
+	schedulers := []string{"minrtt", "daps", "blest", "ecf"}
+	res := &Table3Result{
+		Schedulers: schedulers,
+		IWResets:   make([]int64, len(schedulers)),
+	}
+	forEach(sc, len(schedulers), func(i int) {
 		out := RunStreaming(StreamConfig{
 			WifiMbps: 0.3, LteMbps: 8.6,
-			Scheduler: s,
+			Scheduler: schedulers[i],
 			VideoSec:  sc.VideoSec,
 		})
-		res.Schedulers = append(res.Schedulers, s)
-		res.IWResets = append(res.IWResets, out.IWResets)
-	}
+		res.IWResets[i] = out.IWResets
+	})
 	return res
 }
 

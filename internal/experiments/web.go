@@ -70,12 +70,17 @@ func Figure18(sc Scale) *Figure18Result {
 	for _, size := range res.Sizes {
 		res.Mean[size] = make(map[string][]float64)
 		for _, s := range res.Schedulers {
-			for _, lte := range res.LteBandwidths {
-				sum := wgetStats(s, 1, lte, size, sc.WebRuns)
-				res.Mean[size][s] = append(res.Mean[size][s], sum.Mean)
-			}
+			res.Mean[size][s] = make([]float64, len(res.LteBandwidths))
 		}
 	}
+	nSch, nLte := len(res.Schedulers), len(res.LteBandwidths)
+	forEach(sc, len(res.Sizes)*nSch*nLte, func(k int) {
+		size := res.Sizes[k/(nSch*nLte)]
+		s := res.Schedulers[k/nLte%nSch]
+		li := k % nLte
+		sum := wgetStats(s, 1, res.LteBandwidths[li], size, sc.WebRuns)
+		res.Mean[size][s][li] = sum.Mean
+	})
 	return res
 }
 
@@ -114,26 +119,30 @@ func Figure19(sc Scale) *Figure19Result {
 		labels[i] = fmtMbps(bw)
 	}
 	for _, size := range res.Sizes {
-		h := metrics.NewHeatmap(
+		res.Maps[size] = metrics.NewHeatmap(
 			fmt.Sprintf("ECF/Default completion ratio, %d KB (<1 = ECF faster)", size/1024),
 			labels, labels)
-		for wi, wifi := range trace.WebBandwidthsMbps {
-			for li, lte := range trace.WebBandwidthsMbps {
-				def := wgetStats("minrtt", wifi, lte, size, sc.WebRuns)
-				ecf := wgetStats("ecf", wifi, lte, size, sc.WebRuns)
-				ratio := 1.0
-				diff := def.Mean - ecf.Mean
-				band := def.StdDev + ecf.StdDev
-				if diff > band || diff < -band {
-					if def.Mean > 0 {
-						ratio = ecf.Mean / def.Mean
-					}
-				}
-				h.Set(li, wi, ratio)
+	}
+	// One job per (size, wifi, lte) cell; each writes its own
+	// pre-allocated heat-map slot.
+	nBW := len(trace.WebBandwidthsMbps)
+	forEach(sc, len(res.Sizes)*nBW*nBW, func(k int) {
+		size := res.Sizes[k/(nBW*nBW)]
+		wi := k / nBW % nBW
+		li := k % nBW
+		wifi, lte := trace.WebBandwidthsMbps[wi], trace.WebBandwidthsMbps[li]
+		def := wgetStats("minrtt", wifi, lte, size, sc.WebRuns)
+		ecf := wgetStats("ecf", wifi, lte, size, sc.WebRuns)
+		ratio := 1.0
+		diff := def.Mean - ecf.Mean
+		band := def.StdDev + ecf.StdDev
+		if diff > band || diff < -band {
+			if def.Mean > 0 {
+				ratio = ecf.Mean / def.Mean
 			}
 		}
-		res.Maps[size] = h
-	}
+		res.Maps[size].Set(li, wi, ratio)
+	})
 	return res
 }
 
@@ -230,11 +239,22 @@ func runWebBrowsing(sc Scale) *WebBrowsingResult {
 		Completions: make(map[string][]*metrics.CDF),
 		OOO:         make(map[string][]*metrics.CDF),
 	}
-	for _, s := range res.Schedulers {
-		for _, cfg := range res.Configs {
+	// Fan every (scheduler, config, run) session out as its own job,
+	// then aggregate in index order so the CDFs see samples in the same
+	// sequence regardless of worker count.
+	nCfg, nRun := len(res.Configs), sc.WebRuns
+	outs := make([]*PageOutcome, len(res.Schedulers)*nCfg*nRun)
+	forEach(sc, len(outs), func(k int) {
+		s := res.Schedulers[k/(nCfg*nRun)]
+		cfg := res.Configs[k/nRun%nCfg]
+		run := k % nRun
+		outs[k] = fetchCNNPage(s, cfg.WifiMbps, cfg.LteMbps, uint64(run+1))
+	})
+	for si, s := range res.Schedulers {
+		for ci := range res.Configs {
 			var comp, ooo []float64
-			for run := 0; run < sc.WebRuns; run++ {
-				out := fetchCNNPage(s, cfg.WifiMbps, cfg.LteMbps, uint64(run+1))
+			for run := 0; run < nRun; run++ {
+				out := outs[(si*nCfg+ci)*nRun+run]
 				comp = append(comp, metrics.DurationsToSeconds(out.Completions)...)
 				ooo = append(ooo, metrics.DurationsToSeconds(out.OOODelays)...)
 			}

@@ -37,17 +37,28 @@ func wildStream(run trace.WildRun, scheduler string, videoSec float64) *StreamOu
 }
 
 // Figure22 runs the nine wild streaming configurations under both
-// schedulers.
+// schedulers — 18 independent sessions fanned across the worker pool.
 func Figure22(sc Scale) *Figure22Result {
-	res := &Figure22Result{Runs: trace.WildStreamingRuns()}
-	for _, run := range res.Runs {
-		res.WifiRTT = append(res.WifiRTT, run.WifiRTT)
-		res.LteRTT = append(res.LteRTT, run.LteRTT)
-		def := wildStream(run, "minrtt", sc.VideoSec)
-		ecf := wildStream(run, "ecf", sc.VideoSec)
-		res.Default = append(res.Default, def.Result.AvgThroughputMbps())
-		res.ECF = append(res.ECF, ecf.Result.AvgThroughputMbps())
+	runs := trace.WildStreamingRuns()
+	res := &Figure22Result{
+		Runs:    runs,
+		WifiRTT: make([]time.Duration, len(runs)),
+		LteRTT:  make([]time.Duration, len(runs)),
+		Default: make([]float64, len(runs)),
+		ECF:     make([]float64, len(runs)),
 	}
+	for i, run := range runs {
+		res.WifiRTT[i] = run.WifiRTT
+		res.LteRTT[i] = run.LteRTT
+	}
+	forEach(sc, len(runs)*2, func(k int) {
+		ri := k / 2
+		if k%2 == 0 {
+			res.Default[ri] = wildStream(runs[ri], "minrtt", sc.VideoSec).Result.AvgThroughputMbps()
+		} else {
+			res.ECF[ri] = wildStream(runs[ri], "ecf", sc.VideoSec).Result.AvgThroughputMbps()
+		}
+	})
 	return res
 }
 
@@ -106,10 +117,16 @@ func Figure23(sc Scale) *Figure23Result {
 		MeanOOO:        make(map[string]time.Duration),
 	}
 	runs := trace.WildWebRuns(sc.WildWebRuns)
-	for _, s := range res.Schedulers {
+	// One job per (scheduler, run) page fetch; aggregation walks the
+	// outcomes in index order afterwards.
+	outs := make([]*PageOutcome, len(res.Schedulers)*len(runs))
+	forEach(sc, len(outs), func(k int) {
+		outs[k] = wildPage(runs[k%len(runs)], res.Schedulers[k/len(runs)])
+	})
+	for si, s := range res.Schedulers {
 		var comp, ooo []float64
-		for _, run := range runs {
-			out := wildPage(run, s)
+		for ri := range runs {
+			out := outs[si*len(runs)+ri]
 			comp = append(comp, metrics.DurationsToSeconds(out.Completions)...)
 			ooo = append(ooo, metrics.DurationsToSeconds(out.OOODelays)...)
 		}

@@ -1,0 +1,201 @@
+// Package runner is the concurrency layer under the experiment matrix.
+//
+// The paper's evaluation is a large set of mutually independent
+// simulations — 6×6 bandwidth grids per scheduler, batches of random
+// §5.3 scenarios, repeated web and wild runs. Each cell builds its own
+// network, engine and RNG streams, so cells can execute in any order on
+// any number of goroutines without observing each other. A Pool fans
+// those cells across a bounded set of workers; callers enumerate cells
+// as job indexes and write results into pre-sized storage indexed by
+// cell, which makes aggregation order-independent by construction.
+//
+// Determinism contract: a job's behaviour may depend only on its index
+// (and on seeds derived from it — see Seed), never on worker count,
+// scheduling order, or wall-clock time. Under that contract a sweep's
+// output is byte-identical for Workers=1 and Workers=N.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes independent jobs across a bounded set of goroutines.
+// The zero value is valid and uses one worker per logical CPU.
+type Pool struct {
+	// Workers bounds concurrency. Zero or negative selects
+	// runtime.GOMAXPROCS(0). The job results never depend on it.
+	Workers int
+}
+
+// New returns a pool bounded to the given worker count (0 = GOMAXPROCS).
+func New(workers int) Pool { return Pool{Workers: workers} }
+
+// workers resolves the effective worker count for n jobs.
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PanicError wraps a panic recovered from a job so it can cross the
+// goroutine boundary and be re-raised in the caller of ForEach.
+type PanicError struct {
+	// Job is the index of the panicking job.
+	Job int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its originating job and stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// Unwrap exposes an underlying error panic value to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across the pool's
+// workers and blocks until all dispatched jobs return.
+//
+// Jobs complete in no particular order; results must go into
+// caller-owned, pre-sized storage indexed by i (distinct elements of a
+// pre-allocated slice are safe to write concurrently).
+//
+// If fn returns an error, the context passed to still-running jobs is
+// cancelled, undispatched jobs are skipped, and the error recorded for
+// the lowest job index is returned. If fn panics, remaining jobs are
+// cancelled the same way and the panic is re-raised in the caller,
+// wrapped in *PanicError with the original stack. If ctx is cancelled,
+// dispatch stops and ctx's error is returned after in-flight jobs drain.
+func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := p.workers(n)
+	if w == 1 {
+		return p.serial(ctx, n, fn)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errJob   = n // lowest failing index seen so far
+		firstErr error
+		pan      *PanicError
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	record := func(job int, err error, pv any, stack []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if pv != nil && (pan == nil || job < pan.Job) {
+			pan = &PanicError{Job: job, Value: pv, Stack: stack}
+		}
+		if err != nil && job < errJob {
+			errJob, firstErr = job, err
+		}
+		cancel()
+	}
+	runOne := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				record(i, nil, v, debug.Stack())
+			}
+		}()
+		if err := fn(cctx, i); err != nil {
+			record(i, err, nil, nil)
+		}
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if pan != nil {
+		panic(pan)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// serial is the one-worker fast path: inline execution, no goroutines.
+// Panics are wrapped in *PanicError exactly as on the parallel path, so
+// the contract callers see does not depend on the worker count.
+func (p Pool) serial(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := p.serialOne(ctx, i, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serialOne runs one job, converting a panic into the re-raised
+// *PanicError the parallel path produces.
+func (p Pool) serialOne(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+	defer func() {
+		if v := recover(); v != nil {
+			panic(&PanicError{Job: i, Value: v, Stack: debug.Stack()})
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Seed derives a 64-bit seed for one job from its experiment name and
+// cell index. Feeding the result to sim.NewRNG gives every cell its own
+// stream that depends only on (experiment, cell) — never on worker
+// count or completion order — so adding draws in one cell cannot
+// perturb another. FNV-1a over the name, golden-ratio mix of the index,
+// splitmix64 finalizer.
+func Seed(experiment string, cell int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(experiment); i++ {
+		h ^= uint64(experiment[i])
+		h *= 1099511628211
+	}
+	h ^= (uint64(cell) + 1) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
