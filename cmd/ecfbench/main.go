@@ -6,14 +6,22 @@
 //	ecfbench -exp fig9
 //	ecfbench -exp table3 -scale quick
 //	ecfbench -exp all -j 8
+//	ecfbench -exp all -cache-dir cache            # cache cells; rerun is instant
+//	ecfbench -exp all -cache-dir cache -shard 0/2 # simulate half the cells
+//	ecfbench -exp all -cache-dir cache -merge     # assemble purely from cache
 //
 // Each experiment prints the same rows/series the paper reports (see
-// README.md for the experiment index). -j fans the experiment's
-// independent simulation cells across that many workers; the output is
-// byte-identical for any -j value.
+// README.md for the experiment index) on stdout; timing and cache
+// statistics go to stderr, so stdout is byte-identical for any -j value
+// and for cold vs. warm cache runs. -cache-dir persists every
+// simulation cell's record keyed by (experiment, cell, scale, schema);
+// -shard i/n simulates only the cells with index%n == i (for splitting
+// a sweep across machines); -merge renders everything from cached
+// records alone and fails naming the first missing cell.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/results"
 )
 
 // experiment is a named, runnable paper artifact.
@@ -59,12 +68,102 @@ var catalog = []experiment{
 	{"fig23", "wild web: completion and OOO CCDFs", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure23(sc) }},
 }
 
+// fail prints one clean message and exits 1 — operational failures
+// (unwritable cache dirs, store I/O, merge misses). Usage mistakes go
+// through failUsage instead.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ecfbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// failUsage prints one clean message and exits 2 — the flag package's
+// convention for command-line mistakes (unknown experiment or scale,
+// malformed or conflicting flags).
+func failUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ecfbench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// newSession builds the cache/shard policy from the flags, validating
+// combinations and probing the cache dir up front.
+func newSession(cacheDir, shardStr string, merge, noCache bool) *results.Session {
+	if noCache {
+		if shardStr != "" || merge {
+			failUsage("-no-cache cannot be combined with -shard or -merge (both need the store)")
+		}
+		return nil
+	}
+	if cacheDir == "" {
+		if shardStr != "" {
+			failUsage("-shard requires -cache-dir (a shard's results live in the store)")
+		}
+		if merge {
+			failUsage("-merge requires -cache-dir (it renders from cached records)")
+		}
+		return nil
+	}
+	if shardStr != "" && merge {
+		failUsage("-shard and -merge are mutually exclusive (merge reads every cell)")
+	}
+	shard := results.Shard{}
+	if shardStr != "" {
+		var err error
+		shard, err = results.ParseShard(shardStr)
+		if err != nil {
+			failUsage("%v", err)
+		}
+	}
+	// Merge only reads, so a read-only store (e.g. another machine's
+	// shard output on a read-only mount) is fine; every other mode
+	// creates the dir and probes writability up front.
+	open := results.Open
+	if merge {
+		open = results.OpenRead
+	}
+	store, err := open(cacheDir)
+	if err != nil {
+		fail("%v", err)
+	}
+	return &results.Session{Store: store, Shard: shard, Merge: merge}
+}
+
+// runExperiment executes one driver, converting *results.FatalError
+// panics (store I/O failures, merge misses) into errors for a clean
+// exit; any other panic propagates with its stack.
+func runExperiment(e experiment, sc experiments.Scale) (out fmt.Stringer, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var fe *results.FatalError
+			if pe, ok := v.(error); ok && errors.As(pe, &fe) {
+				err = fe
+				return
+			}
+			panic(v)
+		}
+	}()
+	return e.run(sc), nil
+}
+
+// cacheLine renders the session counter delta as "N hits, M computed
+// (P% hit)"; with no cells at all there is no rate to report.
+func cacheLine(hits, computed int64) string {
+	total := hits + computed
+	if total == 0 {
+		return "cache: 0 hits, 0 computed"
+	}
+	return fmt.Sprintf("cache: %d hits, %d computed (%d%% hit)", hits, computed, hits*100/total)
+}
+
 func main() {
 	var (
-		expName = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
-		scale   = flag.String("scale", "full", "scale profile: full or quick")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jobs    = flag.Int("j", 0, "worker count for the simulation matrix (0 = GOMAXPROCS); results are identical for any value")
+		expName  = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
+		scale    = flag.String("scale", "full", "scale profile: full or quick")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jobs     = flag.Int("j", 0, "worker count for the simulation matrix (0 = GOMAXPROCS); results are identical for any value")
+		cacheDir = flag.String("cache-dir", "", "persist per-cell results under this directory (created if missing); reruns serve unchanged cells from it")
+		shardStr = flag.String("shard", "", "run only cells with index%n == i, given as \"i/n\" (requires -cache-dir; join shards with -merge)")
+		merge    = flag.Bool("merge", false, "assemble the report purely from cached records, simulating nothing (requires -cache-dir)")
+		noCache  = flag.Bool("no-cache", false, "ignore -cache-dir: compute every cell, neither reading nor writing the store")
 	)
 	flag.Parse()
 
@@ -89,15 +188,31 @@ func main() {
 	case "quick":
 		sc = experiments.Quick
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (full|quick)\n", *scale)
-		os.Exit(2)
+		failUsage("unknown scale %q (full|quick)", *scale)
 	}
 	sc.Workers = *jobs
+	sc.Results = newSession(*cacheDir, *shardStr, *merge, *noCache)
 
 	run := func(e experiment) {
+		h0, c0 := sc.Results.Stats()
 		start := time.Now()
-		out := e.run(sc)
-		fmt.Printf("=== %s (%s) — %v ===\n%s\n", e.name, e.desc, time.Since(start).Round(time.Millisecond), out)
+		out, err := runExperiment(e, sc)
+		if err != nil {
+			fail("%s: %v", e.name, err)
+		}
+		if sc.Results.Sharded() {
+			// A shard pass fills the store; its result structures are
+			// partial, so the report is rendered by -merge instead.
+			fmt.Printf("=== %s (%s) — shard %s cached, render with -merge ===\n", e.name, e.desc, sc.Results.Shard)
+		} else {
+			fmt.Printf("=== %s (%s) ===\n%s\n", e.name, e.desc, out)
+		}
+		status := fmt.Sprintf("%s: %v", e.name, time.Since(start).Round(time.Millisecond))
+		if sc.Results != nil {
+			h1, c1 := sc.Results.Stats()
+			status += ", " + cacheLine(h1-h0, c1-c0)
+		}
+		fmt.Fprintln(os.Stderr, status)
 	}
 
 	if *expName == "all" {
@@ -105,7 +220,11 @@ func main() {
 		for _, e := range catalog {
 			run(e)
 		}
-		fmt.Printf("=== all %d experiments — %v total ===\n", len(catalog), time.Since(start).Round(time.Millisecond))
+		status := fmt.Sprintf("all %d experiments: %v total", len(catalog), time.Since(start).Round(time.Millisecond))
+		if sc.Results != nil {
+			status += ", " + cacheLine(sc.Results.Stats())
+		}
+		fmt.Fprintln(os.Stderr, status)
 		return
 	}
 	for _, e := range catalog {
@@ -114,6 +233,5 @@ func main() {
 			return
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expName)
-	os.Exit(2)
+	failUsage("unknown experiment %q; use -list", *expName)
 }

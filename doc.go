@@ -8,7 +8,11 @@
 // opportunistic retransmission and penalization, the ECF scheduler and
 // its baselines (default minimum-RTT, BLEST, DAPS), a DASH streaming
 // stack and web workloads — plus a benchmark harness (bench_test.go and
-// cmd/ecfbench) that regenerates every table and figure.
+// cmd/ecfbench) that regenerates every table and figure. The
+// experiment matrix runs on a worker pool (internal/runner) with a
+// persistent per-cell result cache and cross-process sharding
+// (internal/results), so reruns only simulate changed cells and sweeps
+// split across machines.
 //
 // See README.md for a tour of the packages, how to run the harness,
 // and the experiment index.

@@ -12,12 +12,14 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dash"
 	"repro/internal/metrics"
 	"repro/internal/mptcp"
+	"repro/internal/results"
 	"repro/internal/runner"
 )
 
@@ -43,6 +45,37 @@ type Scale struct {
 	// independent simulation seeded by its own index, so results are
 	// byte-identical for any worker count.
 	Workers int
+	// Results is the per-run cache/shard policy (the ecfbench
+	// -cache-dir/-shard/-merge flags). Nil computes every cell
+	// in-process with no persistence. Like Workers it never affects
+	// cell content, only where records come from, so it is excluded
+	// from cache keys.
+	Results *results.Session
+}
+
+// Scale-key helpers: each cell family's cache key encodes only the
+// Scale fields its cells actually read, so changing one knob (say
+// WebRuns) invalidates only the families depending on it and leaves
+// the expensive grid/streaming records valid. Workers and Results are
+// excluded everywhere: the determinism contract guarantees they never
+// change a cell's value. A driver that starts reading an additional
+// Scale field must widen its key (or bump its schema).
+func (sc Scale) videoKey() string { return fmt.Sprintf("v%g", sc.VideoSec) }
+func (sc Scale) gridKey() string  { return fmt.Sprintf("gv%g", sc.GridVideoSec) }
+func (sc Scale) randomKey() string {
+	return fmt.Sprintf("rd%g,rs%d", sc.RandomDurSec, sc.RandomScenarios)
+}
+func (sc Scale) webKey() string     { return fmt.Sprintf("wr%d", sc.WebRuns) }
+func (sc Scale) wildWebKey() string { return fmt.Sprintf("ww%d", sc.WildWebRuns) }
+
+// spec builds the cache spec for one cell family. The name labels the
+// family; drivers that share cells (the grid figures, Figure 20/21,
+// Table 4 via Figure 23) pass the same name and share records. schema
+// is the family's record-schema version — bumped whenever the driver's
+// cell semantics change — and scaleKey is the relevant scale-key
+// helper's output.
+func (sc Scale) spec(experiment string, schema int, scaleKey string) results.Spec {
+	return results.Spec{Experiment: experiment, Schema: schema, Scale: scaleKey}
 }
 
 // Full is the bench-scale profile.
@@ -228,19 +261,45 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 	return out
 }
 
-// forEach fans the n independent cells of one experiment across the
-// scale's worker pool. Each cell must derive everything (topology,
-// seeds, parameters) from its index i and write its result into
-// pre-sized storage indexed by i, so aggregation is order-independent
-// and the sweep's output does not depend on sc.Workers.
-func forEach(sc Scale, n int, fn func(i int)) {
-	// The closures never return errors and the context is never
-	// cancelled, so the only non-nil outcome is a panic, which ForEach
-	// re-raises in this goroutine.
-	_ = runner.New(sc.Workers).ForEach(context.Background(), n, func(_ context.Context, i int) error {
-		fn(i)
-		return nil
-	})
+// newBatch starts a cell batch on the scale's worker pool under its
+// cache/shard policy. Drivers register cells with results.Add and
+// execute them with runBatch; nested sweeps (Figure 9's four grids)
+// register everything first so one pool serves the whole flattened
+// matrix.
+func newBatch(sc Scale) *results.Batch {
+	return results.NewBatch(runner.New(sc.Workers), sc.Results)
+}
+
+// runBatch executes the batch's cells. Each cell must derive everything
+// (topology, seeds, parameters) from its index and collect into
+// pre-sized storage, so aggregation is order-independent and the
+// sweep's output depends on neither sc.Workers nor cache state.
+// Operational cache failures (store I/O, merge misses) surface as a
+// *results.FatalError panic, since drivers return no errors; the
+// ecfbench harness recovers it for a clean exit.
+func runBatch(b *results.Batch) {
+	if err := b.Run(context.Background()); err != nil {
+		panic(&results.FatalError{Err: err})
+	}
+}
+
+// runCells runs the n cells of a single-spec experiment: compute(i)
+// produces cell i's serializable record, collect(i, v) places it in the
+// driver's result structure. Caching, sharding and merge apply per the
+// scale's Results session.
+func runCells[T any](sc Scale, spec results.Spec, n int, compute func(i int) T, collect func(i int, v T)) {
+	b := newBatch(sc)
+	results.Add(b, spec, n, compute, collect)
+	runBatch(b)
+}
+
+// runSeed derives the RNG seed for repetition run of cell cell of the
+// named experiment — runner.SeedRun, so streams stay disjoint across
+// experiments even at equal indexes (ROADMAP item). Drivers that
+// compare schedulers over shared randomness pass a cell index that
+// excludes the scheduler, preserving the paper's paired design.
+func runSeed(experiment string, cell, run int) uint64 {
+	return runner.SeedRun(experiment, cell, run)
 }
 
 // seconds converts a float of seconds to a duration.

@@ -173,8 +173,8 @@ func TestFigure17SeriesPresent(t *testing.T) {
 func TestWgetECFNotWorse(t *testing.T) {
 	// 512 KB at 1/10 Mbps: ECF should be at least as fast as default
 	// (paper: ~13-20% faster).
-	def := wgetStats("minrtt", 1, 10, 512<<10, 3)
-	ecf := wgetStats("ecf", 1, 10, 512<<10, 3)
+	def := wgetStats("minrtt", 1, 10, 512<<10, 3, "test-wget", 0)
+	ecf := wgetStats("ecf", 1, 10, 512<<10, 3, "test-wget", 0)
 	if ecf.Mean > def.Mean*1.05 {
 		t.Fatalf("wget: ECF %.3fs worse than default %.3fs", ecf.Mean, def.Mean)
 	}
@@ -183,8 +183,8 @@ func TestWgetECFNotWorse(t *testing.T) {
 func TestWgetSmallSizeParity(t *testing.T) {
 	// 128 KB transfers: schedulers should be statistically similar
 	// (paper Figure 19a is all white).
-	def := wgetStats("minrtt", 1, 5, 128<<10, 3)
-	ecf := wgetStats("ecf", 1, 5, 128<<10, 3)
+	def := wgetStats("minrtt", 1, 5, 128<<10, 3, "test-wget", 1)
+	ecf := wgetStats("ecf", 1, 5, 128<<10, 3, "test-wget", 1)
 	if diff := ecf.Mean - def.Mean; diff > def.StdDev+ecf.StdDev+0.2 {
 		t.Fatalf("128KB: ECF %.3fs vs default %.3fs beyond noise", ecf.Mean, def.Mean)
 	}

@@ -6,8 +6,22 @@ import (
 
 	"repro/internal/dash"
 	"repro/internal/metrics"
+	"repro/internal/results"
 	"repro/internal/trace"
 )
+
+// gridSchema versions the grid cell record (GridCell) and the cell
+// semantics of RunGrid; bump on any change to either.
+const gridSchema = 1
+
+// gridSpecName names the cell family of one scheduler's sweep, so every
+// figure touching the same (scheduler, ablation) grid shares records.
+func gridSpecName(scheduler string, disableIdleRestart bool) string {
+	if disableIdleRestart {
+		return "grid/" + scheduler + "/no-reset"
+	}
+	return "grid/" + scheduler
+}
 
 // GridCell is the outcome of one (WiFi, LTE) bandwidth cell.
 type GridCell struct {
@@ -35,10 +49,11 @@ type GridResult struct {
 	Bandwidths []float64
 }
 
-// RunGrid sweeps the §5.2 bandwidth grid for one scheduler, fanning the
-// 36 independent cells across the scale's worker pool.
-// disableIdleRestart supports the Figure 6 ablation.
-func RunGrid(scheduler string, sc Scale, disableIdleRestart bool) *GridResult {
+// addGrid registers one scheduler's 36-cell §5.2 sweep on the batch and
+// returns the result structure, filled in when the batch runs. Keeping
+// registration separate from execution lets multi-grid figures (6, 9,
+// 10) flatten all their cells into a single pool fan-out.
+func addGrid(b *results.Batch, scheduler string, sc Scale, disableIdleRestart bool) *GridResult {
 	bws := trace.GridBandwidthsMbps
 	res := &GridResult{Scheduler: scheduler, Bandwidths: bws}
 	res.Cells = make([][]GridCell, len(bws))
@@ -46,34 +61,46 @@ func RunGrid(scheduler string, sc Scale, disableIdleRestart bool) *GridResult {
 		res.Cells[i] = make([]GridCell, len(bws))
 	}
 	n := len(bws)
-	forEach(sc, n*n, func(k int) {
-		i, j := k/n, k%n
-		wifi, lte := bws[i], bws[j]
-		out := RunStreaming(StreamConfig{
-			WifiMbps:           wifi,
-			LteMbps:            lte,
-			Scheduler:          scheduler,
-			VideoSec:           sc.GridVideoSec,
-			DisableIdleRestart: disableIdleRestart,
-		})
-		ideal := dash.IdealBitrateMbps(wifi+lte, dash.StandardLadder)
-		cell := GridCell{
-			WifiMbps:            wifi,
-			LteMbps:             lte,
-			ThroughputMbps:      out.Result.AvgThroughputMbps(),
-			IdealThroughputMbps: wifi + lte,
-			FastFraction:        out.FastFraction,
-			IdealFraction:       out.IdealFraction,
-			IWResets:            out.IWResets,
-		}
-		if ideal > 0 {
-			cell.BitrateRatio = out.Result.AvgBitrateMbps() / ideal
-			if cell.BitrateRatio > 1 {
-				cell.BitrateRatio = 1
+	results.Add(b, sc.spec(gridSpecName(scheduler, disableIdleRestart), gridSchema, sc.gridKey()), n*n,
+		func(k int) GridCell {
+			i, j := k/n, k%n
+			wifi, lte := bws[i], bws[j]
+			out := RunStreaming(StreamConfig{
+				WifiMbps:           wifi,
+				LteMbps:            lte,
+				Scheduler:          scheduler,
+				VideoSec:           sc.GridVideoSec,
+				DisableIdleRestart: disableIdleRestart,
+			})
+			ideal := dash.IdealBitrateMbps(wifi+lte, dash.StandardLadder)
+			cell := GridCell{
+				WifiMbps:            wifi,
+				LteMbps:             lte,
+				ThroughputMbps:      out.Result.AvgThroughputMbps(),
+				IdealThroughputMbps: wifi + lte,
+				FastFraction:        out.FastFraction,
+				IdealFraction:       out.IdealFraction,
+				IWResets:            out.IWResets,
 			}
-		}
-		res.Cells[i][j] = cell
-	})
+			if ideal > 0 {
+				cell.BitrateRatio = out.Result.AvgBitrateMbps() / ideal
+				if cell.BitrateRatio > 1 {
+					cell.BitrateRatio = 1
+				}
+			}
+			return cell
+		},
+		func(k int, c GridCell) { res.Cells[k/n][k%n] = c })
+	return res
+}
+
+// RunGrid sweeps the §5.2 bandwidth grid for one scheduler, fanning the
+// 36 independent cells across the scale's worker pool.
+// disableIdleRestart supports the Figure 6 ablation.
+func RunGrid(scheduler string, sc Scale, disableIdleRestart bool) *GridResult {
+	b := newBatch(sc)
+	res := addGrid(b, scheduler, sc, disableIdleRestart)
+	runBatch(b)
 	return res
 }
 
@@ -119,13 +146,17 @@ type Figure6Result struct {
 	NoReset    *GridResult
 }
 
-// Figure6 reruns the default-scheduler grid with idle restart disabled.
+// Figure6 reruns the default-scheduler grid with idle restart disabled;
+// both grids' cells run through one shared pool.
 func Figure6(sc Scale) *Figure6Result {
-	return &Figure6Result{
+	b := newBatch(sc)
+	res := &Figure6Result{
 		Bandwidths: trace.GridBandwidthsMbps,
-		WithReset:  RunGrid("minrtt", sc, false),
-		NoReset:    RunGrid("minrtt", sc, true),
+		WithReset:  addGrid(b, "minrtt", sc, false),
+		NoReset:    addGrid(b, "minrtt", sc, true),
 	}
+	runBatch(b)
+	return res
 }
 
 // String renders throughput rows per bandwidth pair.
@@ -181,13 +212,18 @@ type Figure9Result struct {
 	Order []string
 }
 
-// Figure9 sweeps the grid for default, ECF, DAPS and BLEST.
+// Figure9 sweeps the grid for default, ECF, DAPS and BLEST. All four
+// grids are flattened into one job list served by a single shared pool,
+// so the 144 cells saturate the workers instead of draining the pool
+// four times (ROADMAP item).
 func Figure9(sc Scale) *Figure9Result {
 	order := []string{"minrtt", "ecf", "daps", "blest"}
 	res := &Figure9Result{Grids: make(map[string]*GridResult), Order: order}
+	b := newBatch(sc)
 	for _, s := range order {
-		res.Grids[s] = RunGrid(s, sc, false)
+		res.Grids[s] = addGrid(b, s, sc, false)
 	}
+	runBatch(b)
 	return res
 }
 
@@ -217,13 +253,17 @@ type Figure10Result struct {
 	ECF        *GridResult
 }
 
-// Figure10 reports traffic splits for the two wait-capable schedulers.
+// Figure10 reports traffic splits for the two wait-capable schedulers,
+// both grids sharing one pool.
 func Figure10(sc Scale) *Figure10Result {
-	return &Figure10Result{
+	b := newBatch(sc)
+	res := &Figure10Result{
 		Bandwidths: trace.GridBandwidthsMbps,
-		BLEST:      RunGrid("blest", sc, false),
-		ECF:        RunGrid("ecf", sc, false),
+		BLEST:      addGrid(b, "blest", sc, false),
+		ECF:        addGrid(b, "ecf", sc, false),
 	}
+	runBatch(b)
+	return res
 }
 
 // String renders the split rows.
@@ -261,27 +301,32 @@ func Figure15(sc Scale) *Figure15Result {
 		ECFRatio:      make([]float64, len(bws)),
 	}
 	schedulers := []string{"minrtt", "ecf"}
-	forEach(sc, len(bws)*len(schedulers), func(k int) {
-		li, si := k/len(schedulers), k%len(schedulers)
-		lte := bws[li]
-		ideal := dash.IdealBitrateMbps(0.3+lte, dash.StandardLadder)
-		out := RunStreaming(StreamConfig{
-			WifiMbps:        0.3,
-			LteMbps:         lte,
-			Scheduler:       schedulers[si],
-			VideoSec:        sc.GridVideoSec,
-			SubflowsPerPath: 2,
+	runCells(sc, sc.spec("fig15", 1, sc.gridKey()), len(bws)*len(schedulers),
+		func(k int) float64 {
+			li, si := k/len(schedulers), k%len(schedulers)
+			lte := bws[li]
+			ideal := dash.IdealBitrateMbps(0.3+lte, dash.StandardLadder)
+			out := RunStreaming(StreamConfig{
+				WifiMbps:        0.3,
+				LteMbps:         lte,
+				Scheduler:       schedulers[si],
+				VideoSec:        sc.GridVideoSec,
+				SubflowsPerPath: 2,
+			})
+			ratio := out.Result.AvgBitrateMbps() / ideal
+			if ratio > 1 {
+				ratio = 1
+			}
+			return ratio
+		},
+		func(k int, ratio float64) {
+			li, si := k/len(schedulers), k%len(schedulers)
+			if si == 0 {
+				res.DefaultRatio[li] = ratio
+			} else {
+				res.ECFRatio[li] = ratio
+			}
 		})
-		ratio := out.Result.AvgBitrateMbps() / ideal
-		if ratio > 1 {
-			ratio = 1
-		}
-		if si == 0 {
-			res.DefaultRatio[li] = ratio
-		} else {
-			res.ECFRatio[li] = ratio
-		}
-	})
 	return res
 }
 

@@ -7,8 +7,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
+
+// randomSchema versions the §5.3 cell records. v2: scenario seeds are
+// namespaced via runner.Seed("random", scenario) instead of the raw
+// scenario number.
+const randomSchema = 2
 
 // Figure16Result compares average streaming throughput across random
 // bandwidth-change scenarios (§5.3).
@@ -35,17 +41,23 @@ func Figure16(sc Scale) *Figure16Result {
 	for _, s := range schedulers {
 		res.Throughput[s] = make([]float64, sc.RandomScenarios)
 	}
-	forEach(sc, len(schedulers)*sc.RandomScenarios, func(k int) {
-		si, scen := k/sc.RandomScenarios, k%sc.RandomScenarios
-		out := runRandomScenario(schedulers[si], uint64(scen+1), sc)
-		res.Throughput[schedulers[si]][scen] = out.Result.AvgThroughputMbps()
-	})
+	runCells(sc, sc.spec("fig16", randomSchema, sc.randomKey()), len(schedulers)*sc.RandomScenarios,
+		func(k int) float64 {
+			si, scen := k/sc.RandomScenarios, k%sc.RandomScenarios
+			return runRandomScenario(schedulers[si], scen+1, sc).Result.AvgThroughputMbps()
+		},
+		func(k int, mbps float64) {
+			si, scen := k/sc.RandomScenarios, k%sc.RandomScenarios
+			res.Throughput[schedulers[si]][scen] = mbps
+		})
 	return res
 }
 
-// runRandomScenario builds the scenario deterministically from its seed
-// (identical across schedulers, as in the paper) and streams through it.
-func runRandomScenario(scheduler string, seed uint64, sc Scale) *StreamOutcome {
+// runRandomScenario builds scenario n (1-based) deterministically from
+// its runner.Seed-namespaced seed (identical across schedulers, as in
+// the paper) and streams through it.
+func runRandomScenario(scheduler string, n int, sc Scale) *StreamOutcome {
+	seed := runner.Seed("random", n)
 	dur := seconds(sc.RandomDurSec)
 	init := trace.InitialRates(seed, 2, trace.RandomChangeValuesMbps)
 	changes := trace.RandomScenario(seed, 2, dur, 40*time.Second, trace.RandomChangeValuesMbps)
@@ -103,9 +115,11 @@ func Figure17(sc Scale) *Figure17Result {
 	res := &Figure17Result{Scenario: scen}
 	traces := make([][]float64, 2)
 	schedulers := []string{"minrtt", "ecf"}
-	forEach(sc, len(schedulers), func(i int) {
-		traces[i] = runRandomScenario(schedulers[i], uint64(scen), sc).Result.ChunkThroughputsMbps()
-	})
+	runCells(sc, sc.spec("fig17", randomSchema, sc.randomKey()), len(schedulers),
+		func(i int) []float64 {
+			return runRandomScenario(schedulers[i], scen, sc).Result.ChunkThroughputsMbps()
+		},
+		func(i int, xs []float64) { traces[i] = xs })
 	res.Default, res.ECF = traces[0], traces[1]
 	return res
 }

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/results"
 )
 
 // Figure1Result is the ON-OFF download pattern of §2.2.
@@ -22,30 +24,37 @@ type Figure1Result struct {
 }
 
 // Figure1 reproduces the Netflix-style ON-OFF client behaviour: an
-// initial-buffering ramp followed by paced chunk fetches.
+// initial-buffering ramp followed by paced chunk fetches. Its single
+// cell's record is the Figure1Result itself.
 func Figure1(sc Scale) *Figure1Result {
-	out := RunStreaming(StreamConfig{
-		WifiMbps: 8.6, LteMbps: 8.6,
-		Scheduler: "minrtt",
-		VideoSec:  sc.VideoSec,
-	})
 	res := &Figure1Result{}
-	for _, p := range out.Result.DownloadTrace {
-		res.Trace = append(res.Trace, struct {
-			At    time.Duration
-			Bytes int64
-		}{p.At, p.Bytes})
-	}
-	chunks := out.Result.Chunks
-	for i := 1; i < len(chunks); i++ {
-		gap := chunks[i].RequestedAt - chunks[i-1].CompletedAt
-		if gap > time.Second {
-			if res.OffPeriods == 0 {
-				res.InitialBufferingEnds = chunks[i-1].CompletedAt
+	runCells(sc, sc.spec("fig1", 1, sc.videoKey()), 1,
+		func(int) *Figure1Result {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: 8.6, LteMbps: 8.6,
+				Scheduler: "minrtt",
+				VideoSec:  sc.VideoSec,
+			})
+			cell := &Figure1Result{}
+			for _, p := range out.Result.DownloadTrace {
+				cell.Trace = append(cell.Trace, struct {
+					At    time.Duration
+					Bytes int64
+				}{p.At, p.Bytes})
 			}
-			res.OffPeriods++
-		}
-	}
+			chunks := out.Result.Chunks
+			for i := 1; i < len(chunks); i++ {
+				gap := chunks[i].RequestedAt - chunks[i-1].CompletedAt
+				if gap > time.Second {
+					if cell.OffPeriods == 0 {
+						cell.InitialBufferingEnds = chunks[i-1].CompletedAt
+					}
+					cell.OffPeriods++
+				}
+			}
+			return cell
+		},
+		func(_ int, cell *Figure1Result) { *res = *cell })
 	return res
 }
 
@@ -73,13 +82,19 @@ type Figure3Result struct {
 // Figure3 samples subflow send-buffer occupancy (unacked bytes, in-flight
 // included, as the paper measures) every 100 ms.
 func Figure3(sc Scale) *Figure3Result {
-	out := RunStreaming(StreamConfig{
-		WifiMbps: 0.3, LteMbps: 8.6,
-		Scheduler:      "minrtt",
-		VideoSec:       sc.VideoSec,
-		SampleInterval: 100 * time.Millisecond,
-	})
-	return &Figure3Result{Names: out.SubflowNames, Traces: out.SndbufTraces}
+	res := &Figure3Result{}
+	runCells(sc, sc.spec("fig3", 1, sc.videoKey()), 1,
+		func(int) *Figure3Result {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: 0.3, LteMbps: 8.6,
+				Scheduler:      "minrtt",
+				VideoSec:       sc.VideoSec,
+				SampleInterval: 100 * time.Millisecond,
+			})
+			return &Figure3Result{Names: out.SubflowNames, Traces: out.SndbufTraces}
+		},
+		func(_ int, cell *Figure3Result) { *res = *cell })
+	return res
 }
 
 // PeakBytes returns the maximum occupancy seen per subflow.
@@ -138,15 +153,18 @@ func Figure5(sc Scale) *Figure5Result {
 		WifiBandwidths: figure5Pairs,
 		CDFs:           make([]*metrics.CDF, len(figure5Pairs)),
 	}
-	forEach(sc, len(figure5Pairs), func(i int) {
-		out := RunStreaming(StreamConfig{
-			WifiMbps: figure5Pairs[i], LteMbps: 8.6,
-			Scheduler: "minrtt",
-			VideoSec:  sc.VideoSec,
-		})
-		res.CDFs[i] = metrics.NewCDF(
-			metrics.DurationsToSeconds(out.Result.LastPacketDiffs()))
-	})
+	// Cell record: the raw per-chunk diff samples in seconds; the CDF is
+	// rebuilt at collection so the cached form stays small and stable.
+	runCells(sc, sc.spec("fig5", 1, sc.videoKey()), len(figure5Pairs),
+		func(i int) []float64 {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: figure5Pairs[i], LteMbps: 8.6,
+				Scheduler: "minrtt",
+				VideoSec:  sc.VideoSec,
+			})
+			return metrics.DurationsToSeconds(out.Result.LastPacketDiffs())
+		},
+		func(i int, xs []float64) { res.CDFs[i] = metrics.NewCDF(xs) })
 	return res
 }
 
@@ -182,7 +200,9 @@ type CwndTraceResult struct {
 }
 
 // cwndTrace runs the 0.3/8.6 configuration for each scheduler, sampling
-// the chosen subflow's congestion window.
+// the chosen subflow's congestion window. The cell family is named by
+// subflow ("cwnd/sf0", "cwnd/sf1"), not figure label, so the records
+// are reusable by any rendering of the same traces.
 func cwndTrace(fig string, subflowIdx int, sc Scale) *CwndTraceResult {
 	res := &CwndTraceResult{
 		Figure:     fig,
@@ -191,15 +211,17 @@ func cwndTrace(fig string, subflowIdx int, sc Scale) *CwndTraceResult {
 		Traces:     make(map[string]*metrics.TimeSeries),
 	}
 	traces := make([]*metrics.TimeSeries, len(res.Schedulers))
-	forEach(sc, len(res.Schedulers), func(i int) {
-		out := RunStreaming(StreamConfig{
-			WifiMbps: 0.3, LteMbps: 8.6,
-			Scheduler:      res.Schedulers[i],
-			VideoSec:       sc.VideoSec,
-			SampleInterval: 100 * time.Millisecond,
-		})
-		traces[i] = out.CwndTraces[subflowIdx]
-	})
+	runCells(sc, sc.spec(fmt.Sprintf("cwnd/sf%d", subflowIdx), 1, sc.videoKey()), len(res.Schedulers),
+		func(i int) *metrics.TimeSeries {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: 0.3, LteMbps: 8.6,
+				Scheduler:      res.Schedulers[i],
+				VideoSec:       sc.VideoSec,
+				SampleInterval: 100 * time.Millisecond,
+			})
+			return out.CwndTraces[subflowIdx]
+		},
+		func(i int, tr *metrics.TimeSeries) { traces[i] = tr })
 	for i, s := range res.Schedulers {
 		res.Traces[s] = traces[i]
 	}
@@ -243,21 +265,27 @@ type OOOResult struct {
 	CDFs       map[string]*metrics.CDF
 }
 
-// oooRun collects OOO delays per scheduler at one bandwidth pair.
-func oooRun(label string, wifi, lte float64, schedulers []string, sc Scale) *OOOResult {
+// addOOO registers one bandwidth pair's per-scheduler OOO-delay cells
+// on the batch; the result's CDFs fill in when the batch runs. The cell
+// record is the raw delay samples in seconds.
+func addOOO(b *results.Batch, label string, wifi, lte float64, schedulers []string, sc Scale) *OOOResult {
 	res := &OOOResult{Label: label, Schedulers: schedulers, CDFs: make(map[string]*metrics.CDF)}
-	cdfs := make([]*metrics.CDF, len(schedulers))
-	forEach(sc, len(schedulers), func(i int) {
-		out := RunStreaming(StreamConfig{
-			WifiMbps: wifi, LteMbps: lte,
-			Scheduler: schedulers[i],
-			VideoSec:  sc.VideoSec,
+	var mu sync.Mutex // collect runs concurrently and CDFs is a map
+	results.Add(b, sc.spec(fmt.Sprintf("ooo/%s-%s", fmtMbps(wifi), fmtMbps(lte)), 1, sc.videoKey()), len(schedulers),
+		func(i int) []float64 {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: wifi, LteMbps: lte,
+				Scheduler: schedulers[i],
+				VideoSec:  sc.VideoSec,
+			})
+			return metrics.DurationsToSeconds(out.OOODelays)
+		},
+		func(i int, xs []float64) {
+			c := metrics.NewCDF(xs)
+			mu.Lock()
+			res.CDFs[schedulers[i]] = c
+			mu.Unlock()
 		})
-		cdfs[i] = metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays))
-	})
-	for i, s := range schedulers {
-		res.CDFs[s] = cdfs[i]
-	}
 	return res
 }
 
@@ -274,14 +302,16 @@ func Figure13(sc Scale) *Figure13Result {
 		WifiBandwidths: figure5Pairs,
 		CDFs:           make([]*metrics.CDF, len(figure5Pairs)),
 	}
-	forEach(sc, len(figure5Pairs), func(i int) {
-		out := RunStreaming(StreamConfig{
-			WifiMbps: figure5Pairs[i], LteMbps: 8.6,
-			Scheduler: "minrtt",
-			VideoSec:  sc.VideoSec,
-		})
-		res.CDFs[i] = metrics.NewCDF(metrics.DurationsToSeconds(out.OOODelays))
-	})
+	runCells(sc, sc.spec("fig13", 1, sc.videoKey()), len(figure5Pairs),
+		func(i int) []float64 {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: figure5Pairs[i], LteMbps: 8.6,
+				Scheduler: "minrtt",
+				VideoSec:  sc.VideoSec,
+			})
+			return metrics.DurationsToSeconds(out.OOODelays)
+		},
+		func(i int, xs []float64) { res.CDFs[i] = metrics.NewCDF(xs) })
 	return res
 }
 
@@ -308,13 +338,17 @@ type Figure14Result struct {
 	Symmetric     *OOOResult // 4.2 / 8.6
 }
 
-// Figure14 compares OOO delay across schedulers.
+// Figure14 compares OOO delay across schedulers; both panels' cells run
+// through one shared pool.
 func Figure14(sc Scale) *Figure14Result {
 	scheds := []string{"minrtt", "daps", "blest", "ecf"}
-	return &Figure14Result{
-		Heterogeneous: oooRun("0.3 Mbps WiFi and 8.6 Mbps LTE", 0.3, 8.6, scheds, sc),
-		Symmetric:     oooRun("4.2 Mbps WiFi and 8.6 Mbps LTE", 4.2, 8.6, scheds, sc),
+	b := newBatch(sc)
+	res := &Figure14Result{
+		Heterogeneous: addOOO(b, "0.3 Mbps WiFi and 8.6 Mbps LTE", 0.3, 8.6, scheds, sc),
+		Symmetric:     addOOO(b, "4.2 Mbps WiFi and 8.6 Mbps LTE", 4.2, 8.6, scheds, sc),
 	}
+	runBatch(b)
+	return res
 }
 
 // String renders both panels.

@@ -55,14 +55,24 @@ func Table2(sc Scale) *Table2Result {
 		WifiRTT:        make([]time.Duration, len(bws)),
 		LteRTT:         make([]time.Duration, len(bws)),
 	}
-	forEach(sc, len(bws)*2, func(k int) {
-		bw := bws[k/2]
-		if k%2 == 0 {
-			res.WifiRTT[k/2] = measureLoadedRTT("wifi", bw, core.WiFiBaseRTT)
-		} else {
-			res.LteRTT[k/2] = measureLoadedRTT("lte", bw, core.LTEBaseRTT)
-		}
-	})
+	// Cell record: the mean loaded RTT. The measurement is fully
+	// deterministic (no RNG draws) and reads no Scale field, so its
+	// scale key is empty: records survive any scale change.
+	runCells(sc, sc.spec("table2", 1, ""), len(bws)*2,
+		func(k int) time.Duration {
+			bw := bws[k/2]
+			if k%2 == 0 {
+				return measureLoadedRTT("wifi", bw, core.WiFiBaseRTT)
+			}
+			return measureLoadedRTT("lte", bw, core.LTEBaseRTT)
+		},
+		func(k int, rtt time.Duration) {
+			if k%2 == 0 {
+				res.WifiRTT[k/2] = rtt
+			} else {
+				res.LteRTT[k/2] = rtt
+			}
+		})
 	return res
 }
 
@@ -130,14 +140,16 @@ func Table3(sc Scale) *Table3Result {
 		Schedulers: schedulers,
 		IWResets:   make([]int64, len(schedulers)),
 	}
-	forEach(sc, len(schedulers), func(i int) {
-		out := RunStreaming(StreamConfig{
-			WifiMbps: 0.3, LteMbps: 8.6,
-			Scheduler: schedulers[i],
-			VideoSec:  sc.VideoSec,
-		})
-		res.IWResets[i] = out.IWResets
-	})
+	runCells(sc, sc.spec("table3", 1, sc.videoKey()), len(schedulers),
+		func(i int) int64 {
+			out := RunStreaming(StreamConfig{
+				WifiMbps: 0.3, LteMbps: 8.6,
+				Scheduler: schedulers[i],
+				VideoSec:  sc.VideoSec,
+			})
+			return out.IWResets
+		},
+		func(i int, resets int64) { res.IWResets[i] = resets })
 	return res
 }
 

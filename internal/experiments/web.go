@@ -39,11 +39,15 @@ func wgetOnce(scheduler string, wifiMbps, lteMbps float64, bytes int64, seed uin
 	return dur
 }
 
-// wgetStats runs N repetitions and summarizes.
-func wgetStats(scheduler string, wifiMbps, lteMbps float64, bytes int64, runs int) metrics.Summary {
+// wgetStats runs N repetitions and summarizes. Per-run seeds derive
+// from (seedExp, seedCell, run) via runSeed; callers comparing
+// schedulers pass a seedCell that excludes the scheduler so both sides
+// see identical network randomness (the paper's paired design, which
+// Figure 19's stddev normalization depends on).
+func wgetStats(scheduler string, wifiMbps, lteMbps float64, bytes int64, runs int, seedExp string, seedCell int) metrics.Summary {
 	var xs []float64
 	for r := 0; r < runs; r++ {
-		d := wgetOnce(scheduler, wifiMbps, lteMbps, bytes, uint64(r+1))
+		d := wgetOnce(scheduler, wifiMbps, lteMbps, bytes, runSeed(seedExp, seedCell, r))
 		xs = append(xs, d.Seconds())
 	}
 	return metrics.Summarize(xs)
@@ -73,14 +77,23 @@ func Figure18(sc Scale) *Figure18Result {
 			res.Mean[size][s] = make([]float64, len(res.LteBandwidths))
 		}
 	}
+	// Cell record: the full completion-time summary (the figure prints
+	// the mean; the spread stays available to cache consumers). v2:
+	// seeds namespaced via runSeed, paired across schedulers.
 	nSch, nLte := len(res.Schedulers), len(res.LteBandwidths)
-	forEach(sc, len(res.Sizes)*nSch*nLte, func(k int) {
-		size := res.Sizes[k/(nSch*nLte)]
-		s := res.Schedulers[k/nLte%nSch]
-		li := k % nLte
-		sum := wgetStats(s, 1, res.LteBandwidths[li], size, sc.WebRuns)
-		res.Mean[size][s][li] = sum.Mean
-	})
+	runCells(sc, sc.spec("fig18", 2, sc.webKey()), len(res.Sizes)*nSch*nLte,
+		func(k int) metrics.Summary {
+			size := res.Sizes[k/(nSch*nLte)]
+			s := res.Schedulers[k/nLte%nSch]
+			li := k % nLte
+			seedCell := k/(nSch*nLte)*nLte + li // (size, lte): scheduler-independent
+			return wgetStats(s, 1, res.LteBandwidths[li], size, sc.WebRuns, "fig18", seedCell)
+		},
+		func(k int, sum metrics.Summary) {
+			size := res.Sizes[k/(nSch*nLte)]
+			s := res.Schedulers[k/nLte%nSch]
+			res.Mean[size][s][k%nLte] = sum.Mean
+		})
 	return res
 }
 
@@ -124,26 +137,41 @@ func Figure19(sc Scale) *Figure19Result {
 			labels, labels)
 	}
 	// One job per (size, wifi, lte) cell; each writes its own
-	// pre-allocated heat-map slot.
+	// pre-allocated heat-map slot. The cell record keeps both
+	// schedulers' summaries so the normalization stays recomputable
+	// from cache. v2: seeds namespaced via runSeed, shared by both
+	// schedulers within a cell (paired runs).
 	nBW := len(trace.WebBandwidthsMbps)
-	forEach(sc, len(res.Sizes)*nBW*nBW, func(k int) {
-		size := res.Sizes[k/(nBW*nBW)]
-		wi := k / nBW % nBW
-		li := k % nBW
-		wifi, lte := trace.WebBandwidthsMbps[wi], trace.WebBandwidthsMbps[li]
-		def := wgetStats("minrtt", wifi, lte, size, sc.WebRuns)
-		ecf := wgetStats("ecf", wifi, lte, size, sc.WebRuns)
-		ratio := 1.0
-		diff := def.Mean - ecf.Mean
-		band := def.StdDev + ecf.StdDev
-		if diff > band || diff < -band {
-			if def.Mean > 0 {
-				ratio = ecf.Mean / def.Mean
+	runCells(sc, sc.spec("fig19", 2, sc.webKey()), len(res.Sizes)*nBW*nBW,
+		func(k int) wgetPair {
+			size := res.Sizes[k/(nBW*nBW)]
+			wifi := trace.WebBandwidthsMbps[k/nBW%nBW]
+			lte := trace.WebBandwidthsMbps[k%nBW]
+			return wgetPair{
+				Def: wgetStats("minrtt", wifi, lte, size, sc.WebRuns, "fig19", k),
+				ECF: wgetStats("ecf", wifi, lte, size, sc.WebRuns, "fig19", k),
 			}
-		}
-		res.Maps[size].Set(li, wi, ratio)
-	})
+		},
+		func(k int, p wgetPair) {
+			size := res.Sizes[k/(nBW*nBW)]
+			ratio := 1.0
+			diff := p.Def.Mean - p.ECF.Mean
+			band := p.Def.StdDev + p.ECF.StdDev
+			if diff > band || diff < -band {
+				if p.Def.Mean > 0 {
+					ratio = p.ECF.Mean / p.Def.Mean
+				}
+			}
+			res.Maps[size].Set(k%nBW, k/nBW%nBW, ratio)
+		})
 	return res
+}
+
+// wgetPair is the cached record of one Figure 19 cell: both schedulers'
+// completion summaries under shared per-run seeds.
+type wgetPair struct {
+	Def metrics.Summary
+	ECF metrics.Summary
 }
 
 // WorseCells counts cells where ECF is slower than default beyond the
@@ -241,20 +269,30 @@ func runWebBrowsing(sc Scale) *WebBrowsingResult {
 	}
 	// Fan every (scheduler, config, run) session out as its own job,
 	// then aggregate in index order so the CDFs see samples in the same
-	// sequence regardless of worker count.
+	// sequence regardless of worker count. Both Figure 20 and Figure 21
+	// read from the same cell family ("web-browsing"), so one pass
+	// serves both. v2: seeds namespaced via runSeed per (config, run),
+	// shared across schedulers (paired sessions).
 	nCfg, nRun := len(res.Configs), sc.WebRuns
 	outs := make([]*PageOutcome, len(res.Schedulers)*nCfg*nRun)
-	forEach(sc, len(outs), func(k int) {
-		s := res.Schedulers[k/(nCfg*nRun)]
-		cfg := res.Configs[k/nRun%nCfg]
-		run := k % nRun
-		outs[k] = fetchCNNPage(s, cfg.WifiMbps, cfg.LteMbps, uint64(run+1))
-	})
+	runCells(sc, sc.spec("web-browsing", 2, sc.webKey()), len(outs),
+		func(k int) *PageOutcome {
+			s := res.Schedulers[k/(nCfg*nRun)]
+			ci := k / nRun % nCfg
+			cfg := res.Configs[ci]
+			return fetchCNNPage(s, cfg.WifiMbps, cfg.LteMbps, runSeed("web-browsing", ci, k%nRun))
+		},
+		func(k int, out *PageOutcome) { outs[k] = out })
 	for si, s := range res.Schedulers {
 		for ci := range res.Configs {
 			var comp, ooo []float64
 			for run := 0; run < nRun; run++ {
 				out := outs[(si*nCfg+ci)*nRun+run]
+				if out == nil {
+					// Cell outside this run's shard; the merge pass
+					// sees them all.
+					continue
+				}
 				comp = append(comp, metrics.DurationsToSeconds(out.Completions)...)
 				ooo = append(ooo, metrics.DurationsToSeconds(out.OOODelays)...)
 			}

@@ -51,14 +51,24 @@ func Figure22(sc Scale) *Figure22Result {
 		res.WifiRTT[i] = run.WifiRTT
 		res.LteRTT[i] = run.LteRTT
 	}
-	forEach(sc, len(runs)*2, func(k int) {
-		ri := k / 2
-		if k%2 == 0 {
-			res.Default[ri] = wildStream(runs[ri], "minrtt", sc.VideoSec).Result.AvgThroughputMbps()
-		} else {
-			res.ECF[ri] = wildStream(runs[ri], "ecf", sc.VideoSec).Result.AvgThroughputMbps()
-		}
-	})
+	// Cell record: the session's average throughput. Seeds are part of
+	// the wild run definitions (trace.WildStreamingRuns), fixed
+	// topology data rather than per-job derivations.
+	runCells(sc, sc.spec("fig22", 1, sc.videoKey()), len(runs)*2,
+		func(k int) float64 {
+			sched := "minrtt"
+			if k%2 == 1 {
+				sched = "ecf"
+			}
+			return wildStream(runs[k/2], sched, sc.VideoSec).Result.AvgThroughputMbps()
+		},
+		func(k int, mbps float64) {
+			if k%2 == 0 {
+				res.Default[k/2] = mbps
+			} else {
+				res.ECF[k/2] = mbps
+			}
+		})
 	return res
 }
 
@@ -118,15 +128,23 @@ func Figure23(sc Scale) *Figure23Result {
 	}
 	runs := trace.WildWebRuns(sc.WildWebRuns)
 	// One job per (scheduler, run) page fetch; aggregation walks the
-	// outcomes in index order afterwards.
+	// outcomes in index order afterwards. Table 4 reads the same cell
+	// family, so its pass is free once Figure 23's cells are cached.
 	outs := make([]*PageOutcome, len(res.Schedulers)*len(runs))
-	forEach(sc, len(outs), func(k int) {
-		outs[k] = wildPage(runs[k%len(runs)], res.Schedulers[k/len(runs)])
-	})
+	runCells(sc, sc.spec("fig23", 1, sc.wildWebKey()), len(outs),
+		func(k int) *PageOutcome {
+			return wildPage(runs[k%len(runs)], res.Schedulers[k/len(runs)])
+		},
+		func(k int, out *PageOutcome) { outs[k] = out })
 	for si, s := range res.Schedulers {
 		var comp, ooo []float64
 		for ri := range runs {
 			out := outs[si*len(runs)+ri]
+			if out == nil {
+				// Cell outside this run's shard; the merge pass sees
+				// them all.
+				continue
+			}
 			comp = append(comp, metrics.DurationsToSeconds(out.Completions)...)
 			ooo = append(ooo, metrics.DurationsToSeconds(out.OOODelays)...)
 		}

@@ -1,0 +1,192 @@
+// Package results makes experiment cells durable and distributable.
+//
+// The paper's evaluation regenerates every table and figure from
+// hundreds of independent simulation cells. internal/runner fans those
+// cells across workers inside one process; this package adds the two
+// layers the ROADMAP's multi-machine north star needs on top of it:
+//
+//   - a cell store: a content-addressed on-disk cache of per-cell
+//     records, keyed by a hash of (experiment name, cell index, the
+//     Scale encoding, and a per-experiment schema version), with atomic
+//     writes and corruption-tolerant reads (Store), and
+//   - a cell execution layer: Run / Batch+Add execute a spec's cells
+//     through a runner.Pool, serving each cell from the store when a
+//     record exists and computing-then-persisting it when not, so
+//     caching and sharding apply uniformly to every driver rather than
+//     per-driver.
+//
+// A Session carries the per-invocation policy: which store to use, an
+// optional shard restriction (cell index % Count == Index), or merge
+// mode, where every cell must come from the store and nothing is
+// simulated. Splitting a sweep across machines is then
+//
+//	host-a$ ecfbench -exp all -cache-dir cache -shard 0/2
+//	host-b$ ecfbench -exp all -cache-dir cache -shard 1/2
+//	host-a$ rsync -a host-b:cache/ cache/
+//	host-a$ ecfbench -exp all -cache-dir cache -merge
+//
+// Records are keyed by content, not by which driver asked: drivers that
+// share cells (Figure 2/6/7/9 all sweep the default-scheduler grid;
+// Table 4 aggregates Figure 23's runs) automatically share records.
+//
+// Determinism contract: a cached record must decode back to exactly the
+// value that was computed, so a warm run renders byte-identically to a
+// cold one. Records are JSON with concrete field types only (float64,
+// integers, time.Duration, strings, slices, structs), which Go's
+// encoding round-trips exactly.
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Spec identifies one family of cells: a sub-experiment whose cell
+// index fully determines the cell's parameters.
+type Spec struct {
+	// Experiment names the cell family (e.g. "grid/ecf", "fig16").
+	// Drivers that share cells use the same name and get each other's
+	// records for free.
+	Experiment string
+	// Schema is the experiment's record-schema version. Bump it
+	// whenever the driver's cell semantics change (different seeds,
+	// different record contents, different simulation behaviour), so
+	// stale records can never be mistaken for current ones.
+	Schema int
+	// Scale is the canonical encoding of the scale parameters the cell
+	// content depends on (experiments.Scale minus Workers and cache
+	// policy, which never affect results).
+	Scale string
+}
+
+// key builds the store key for one cell of the spec.
+func (s Spec) key(cell int) Key {
+	return Key{Experiment: s.Experiment, Cell: cell, Schema: s.Schema, Scale: s.Scale}
+}
+
+// Key identifies one cell's record in the store.
+type Key struct {
+	Experiment string `json:"experiment"`
+	Cell       int    `json:"cell"`
+	Schema     int    `json:"schema"`
+	Scale      string `json:"scale"`
+}
+
+// hash returns the record's content address: a 128-bit hex digest over
+// an unambiguous (length-prefixed) encoding of the key fields.
+func (k Key) hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr(k.Experiment)
+	writeInt(k.Cell)
+	writeInt(k.Schema)
+	writeStr(k.Scale)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// Shard restricts a run to the cells with index % Count == Index. The
+// zero value (Count 0) covers every cell, as does Count 1.
+type Shard struct {
+	Index, Count int
+}
+
+// ParseShard parses the -shard flag syntax "i/n" with 0 <= i < n.
+func ParseShard(s string) (Shard, error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("shard %q: want \"i/n\" (e.g. 0/2)", s)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(cnt)
+	if err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+		return Shard{}, fmt.Errorf("shard %q: want \"i/n\" with 0 <= i < n", s)
+	}
+	return Shard{Index: i, Count: n}, nil
+}
+
+// Covers reports whether the shard runs the given cell.
+func (sh Shard) Covers(cell int) bool {
+	return sh.Count <= 1 || cell%sh.Count == sh.Index
+}
+
+// String renders the flag syntax back.
+func (sh Shard) String() string {
+	if sh.Count <= 1 {
+		return "full"
+	}
+	return fmt.Sprintf("%d/%d", sh.Index, sh.Count)
+}
+
+// Session is the per-invocation cache/shard policy shared by every
+// driver of one run, plus the hit/computed counters the harness
+// reports. The zero value (and nil) computes everything in-process with
+// no persistence. Counters are safe for concurrent use.
+type Session struct {
+	// Store persists cell records; nil disables caching.
+	Store *Store
+	// Shard restricts which cells run (zero value: all of them).
+	Shard Shard
+	// Merge serves every cell from the store and simulates nothing; a
+	// missing record is an error naming the cell.
+	Merge bool
+
+	hits     atomic.Int64
+	computed atomic.Int64
+}
+
+// Stats returns how many cells were served from the store and how many
+// were simulated since the session was created.
+func (s *Session) Stats() (hits, computed int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.hits.Load(), s.computed.Load()
+}
+
+// Sharded reports whether the session restricts cell coverage. A
+// sharded run fills the store but leaves uncovered slots of every
+// driver's result structure at their zero values, so its rendered
+// reports are partial — render from a -merge pass instead.
+func (s *Session) Sharded() bool {
+	return s != nil && s.Shard.Count > 1
+}
+
+// MissingCellError reports a merge pass that needed a record no shard
+// had produced.
+type MissingCellError struct {
+	Key Key
+}
+
+// Error names the missing cell and how to produce it.
+func (e *MissingCellError) Error() string {
+	return fmt.Sprintf("results: cell %d of %q (schema %d, scale %q) is not in the cache; run the shard covering it (and every other cell) before -merge",
+		e.Key.Cell, e.Key.Experiment, e.Key.Schema, e.Key.Scale)
+}
+
+// FatalError wraps an operational results failure (store I/O, a merge
+// miss) raised out of an experiment driver as a panic — the drivers
+// return no errors by design. Harnesses recover it at the top level and
+// exit with the message instead of a stack trace.
+type FatalError struct {
+	Err error
+}
+
+// Error delegates to the wrapped error.
+func (e *FatalError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *FatalError) Unwrap() error { return e.Err }

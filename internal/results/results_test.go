@@ -1,0 +1,380 @@
+package results
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// rec is a representative cell record: mixed concrete field types.
+type rec struct {
+	Cell  int
+	Label string
+	Value float64
+}
+
+// computeRec fabricates cell i's record deterministically and counts
+// invocations.
+func computeRec(counter *atomic.Int64) func(int) rec {
+	return func(i int) rec {
+		counter.Add(1)
+		return rec{Cell: i, Label: "cell", Value: float64(i) * 1.25}
+	}
+}
+
+// collectInto returns a collect writing into pre-sized storage.
+func collectInto(dst []rec) func(int, rec) {
+	return func(i int, v rec) { dst[i] = v }
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func spec() Spec { return Spec{Experiment: "unit/alpha", Schema: 1, Scale: "s1"} }
+
+func TestRunComputesCollectsAndServesWarm(t *testing.T) {
+	dir := t.TempDir()
+	const n = 8
+	pool := runner.New(4)
+
+	var computes atomic.Int64
+	cold := make([]rec, n)
+	s1 := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s1, spec(), n, computeRec(&computes), collectInto(cold)); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := s1.Stats(); h != 0 || c != n {
+		t.Fatalf("cold stats = %d hits, %d computed; want 0, %d", h, c, n)
+	}
+	if computes.Load() != n {
+		t.Fatalf("compute ran %d times, want %d", computes.Load(), n)
+	}
+
+	warm := make([]rec, n)
+	s2 := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s2, spec(), n, computeRec(&computes), collectInto(warm)); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := s2.Stats(); h != n || c != 0 {
+		t.Fatalf("warm stats = %d hits, %d computed; want %d, 0", h, c, n)
+	}
+	if computes.Load() != n {
+		t.Fatalf("warm run recomputed: %d total computes", computes.Load())
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm records differ from cold:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+}
+
+func TestNilSessionComputesEverything(t *testing.T) {
+	const n = 5
+	var computes atomic.Int64
+	got := make([]rec, n)
+	if err := Run(context.Background(), runner.New(2), nil, spec(), n, computeRec(&computes), collectInto(got)); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != n {
+		t.Fatalf("computes = %d, want %d", computes.Load(), n)
+	}
+	for i, v := range got {
+		if v.Cell != i {
+			t.Fatalf("cell %d collected %+v", i, v)
+		}
+	}
+}
+
+// corruptOneRecord truncates/garbles one record file under dir and
+// returns how many record files exist.
+func corruptOneRecord(t *testing.T, dir string) int {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no record files found")
+	}
+	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return len(files)
+}
+
+func TestCorruptRecordIsRecomputedAndHealed(t *testing.T) {
+	dir := t.TempDir()
+	const n = 6
+	pool := runner.New(1)
+	var computes atomic.Int64
+
+	s1 := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s1, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+	if files := corruptOneRecord(t, dir); files != n {
+		t.Fatalf("record files = %d, want %d", files, n)
+	}
+
+	got := make([]rec, n)
+	s2 := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s2, spec(), n, computeRec(&computes), collectInto(got)); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := s2.Stats(); h != n-1 || c != 1 {
+		t.Fatalf("post-corruption stats = %d hits, %d computed; want %d, 1", h, c, n-1)
+	}
+	for i, v := range got {
+		if v.Cell != i || v.Value != float64(i)*1.25 {
+			t.Fatalf("cell %d collected %+v after corruption", i, v)
+		}
+	}
+
+	// The recompute rewrote the record: a third run is all hits.
+	s3 := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s3, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := s3.Stats(); h != n || c != 0 {
+		t.Fatalf("healed stats = %d hits, %d computed; want %d, 0", h, c, n)
+	}
+}
+
+func TestKeyInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	const n = 4
+	pool := runner.New(1)
+	base := spec()
+
+	var computes atomic.Int64
+	seed := func(sp Spec) (hits, computed int64) {
+		s := &Session{Store: openStore(t, dir)}
+		if err := Run(context.Background(), pool, s, sp, n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+
+	seed(base)
+	for name, sp := range map[string]Spec{
+		"scale change":      {Experiment: base.Experiment, Schema: base.Schema, Scale: "s2"},
+		"schema bump":       {Experiment: base.Experiment, Schema: base.Schema + 1, Scale: base.Scale},
+		"experiment rename": {Experiment: "unit/beta", Schema: base.Schema, Scale: base.Scale},
+	} {
+		if h, c := seed(sp); h != 0 || c != n {
+			t.Fatalf("%s: stats = %d hits, %d computed; want full recompute", name, h, c)
+		}
+	}
+	// The original records were never clobbered by the variants.
+	if h, c := seed(base); h != n || c != 0 {
+		t.Fatalf("original spec: stats = %d hits, %d computed; want all hits", h, c)
+	}
+}
+
+func TestShardsUnionThenMergeMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	const n, shards = 10, 3
+	pool := runner.New(2)
+
+	unsharded := make([]rec, n)
+	var computes atomic.Int64
+	if err := Run(context.Background(), pool, nil, spec(), n, computeRec(&computes), collectInto(unsharded)); err != nil {
+		t.Fatal(err)
+	}
+
+	var shardComputes int64
+	for i := 0; i < shards; i++ {
+		s := &Session{Store: openStore(t, dir), Shard: Shard{Index: i, Count: shards}}
+		collected := make([]rec, n)
+		if err := Run(context.Background(), pool, s, spec(), n, computeRec(&computes), collectInto(collected)); err != nil {
+			t.Fatal(err)
+		}
+		_, c := s.Stats()
+		shardComputes += c
+		for cell, v := range collected {
+			covered := cell%shards == i
+			if covered && v.Cell != cell {
+				t.Fatalf("shard %d: covered cell %d not collected", i, cell)
+			}
+			if !covered && v != (rec{}) {
+				t.Fatalf("shard %d: uncovered cell %d was filled: %+v", i, cell, v)
+			}
+		}
+	}
+	if shardComputes != n {
+		t.Fatalf("shards computed %d cells total, want %d (each cell exactly once)", shardComputes, n)
+	}
+
+	merged := make([]rec, n)
+	m := &Session{Store: openStore(t, dir), Merge: true}
+	if err := Run(context.Background(), pool, m, spec(), n, computeRec(&computes), collectInto(merged)); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := m.Stats(); h != n || c != 0 {
+		t.Fatalf("merge stats = %d hits, %d computed; want %d, 0", h, c, n)
+	}
+	if !reflect.DeepEqual(merged, unsharded) {
+		t.Fatalf("merge differs from unsharded:\nmerge:     %+v\nunsharded: %+v", merged, unsharded)
+	}
+}
+
+func TestMergeMissingCellFails(t *testing.T) {
+	dir := t.TempDir()
+	const n = 6
+	pool := runner.New(1)
+	var computes atomic.Int64
+
+	// Only shard 0/2 ran; merge must name a missing odd cell.
+	s := &Session{Store: openStore(t, dir), Shard: Shard{Index: 0, Count: 2}}
+	if err := Run(context.Background(), pool, s, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+	m := &Session{Store: openStore(t, dir), Merge: true}
+	err := Run(context.Background(), pool, m, spec(), n, computeRec(&computes), collectInto(make([]rec, n)))
+	var miss *MissingCellError
+	if !errors.As(err, &miss) {
+		t.Fatalf("merge error = %v, want *MissingCellError", err)
+	}
+	if miss.Key.Cell%2 != 1 {
+		t.Fatalf("missing cell %d should be odd (uncovered by shard 0/2)", miss.Key.Cell)
+	}
+}
+
+func TestBatchRunsMultipleSpecsThroughOnePool(t *testing.T) {
+	dir := t.TempDir()
+	pool := runner.New(4)
+	var computes atomic.Int64
+
+	a := make([]rec, 7)
+	b := make([]rec, 3)
+	s := &Session{Store: openStore(t, dir)}
+	batch := NewBatch(pool, s)
+	Add(batch, Spec{Experiment: "unit/a", Schema: 1, Scale: "s"}, len(a), computeRec(&computes), collectInto(a))
+	Add(batch, Spec{Experiment: "unit/b", Schema: 1, Scale: "s"}, len(b), computeRec(&computes), collectInto(b))
+	if err := batch.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, c := s.Stats(); c != int64(len(a)+len(b)) {
+		t.Fatalf("computed %d cells, want %d", c, len(a)+len(b))
+	}
+	for i, v := range a {
+		if v.Cell != i {
+			t.Fatalf("spec a cell %d = %+v", i, v)
+		}
+	}
+	for i, v := range b {
+		if v.Cell != i {
+			t.Fatalf("spec b cell %d = %+v", i, v)
+		}
+	}
+	// Specs do not collide: each family warms independently.
+	s2 := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s2, Spec{Experiment: "unit/a", Schema: 1, Scale: "s"}, len(a), computeRec(&computes), collectInto(make([]rec, len(a)))); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := s2.Stats(); h != int64(len(a)) || c != 0 {
+		t.Fatalf("spec a warm stats = %d hits, %d computed", h, c)
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"0/2": {Index: 0, Count: 2},
+		"1/2": {Index: 1, Count: 2},
+		"4/5": {Index: 4, Count: 5},
+		"0/1": {Index: 0, Count: 1},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "1", "2/2", "-1/2", "a/b", "1/0", "1/-2"} {
+		if _, err := ParseShard(in); err == nil {
+			t.Fatalf("ParseShard(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestShardCovers(t *testing.T) {
+	if !(Shard{}).Covers(5) || !(Shard{Count: 1}).Covers(5) {
+		t.Fatal("zero/full shard must cover every cell")
+	}
+	sh := Shard{Index: 1, Count: 3}
+	for cell := 0; cell < 9; cell++ {
+		if sh.Covers(cell) != (cell%3 == 1) {
+			t.Fatalf("Shard 1/3 Covers(%d) wrong", cell)
+		}
+	}
+}
+
+func TestOpenCreatesMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "cache")
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("Open on missing nested dir: %v", err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("cache dir not created: %v", err)
+	}
+}
+
+func TestOpenReadServesMergeWithoutWriting(t *testing.T) {
+	dir := t.TempDir()
+	const n = 4
+	pool := runner.New(1)
+	var computes atomic.Int64
+	s := &Session{Store: openStore(t, dir)}
+	if err := Run(context.Background(), pool, s, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read-only open (no creation, no probe) is enough for merge.
+	ro, err := OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Session{Store: ro, Merge: true}
+	got := make([]rec, n)
+	if err := Run(context.Background(), pool, m, spec(), n, computeRec(&computes), collectInto(got)); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := m.Stats(); h != n || c != 0 {
+		t.Fatalf("merge stats = %d hits, %d computed", h, c)
+	}
+
+	// Unlike Open, OpenRead must not invent a missing directory.
+	if _, err := OpenRead(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("OpenRead on a missing dir succeeded, want error")
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open on read-only dir succeeded, want error")
+	}
+}

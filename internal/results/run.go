@@ -1,0 +1,99 @@
+package results
+
+import (
+	"context"
+
+	"repro/internal/runner"
+)
+
+// Batch accumulates cells from one or more specs and executes them all
+// through a single worker pool, so nested sweeps (Figure 9's four
+// grids, Figure 14's two panels) saturate the pool instead of draining
+// it once per sub-sweep. Cells are independent jobs under the runner
+// contract: compute must derive everything from the cell index, and
+// collect must write into pre-sized storage (distinct cells may be
+// collected concurrently, in any order).
+type Batch struct {
+	pool    runner.Pool
+	session *Session
+	jobs    []func() error
+}
+
+// NewBatch returns an empty batch executing on pool under session's
+// cache/shard policy (session may be nil: compute everything).
+func NewBatch(pool runner.Pool, session *Session) *Batch {
+	return &Batch{pool: pool, session: session}
+}
+
+// Add registers the n cells of one spec. compute(i) produces cell i's
+// record — a JSON-serializable value with concrete field types — and
+// collect(i, v) stores it into the caller's result structure. When the
+// batch runs, each cell is served from the session's store when a
+// record exists, computed and persisted when not, skipped when outside
+// the session's shard, and in merge mode read from the store
+// unconditionally (a missing record fails the run with a
+// *MissingCellError).
+func Add[T any](b *Batch, spec Spec, n int, compute func(i int) T, collect func(i int, v T)) {
+	s := b.session
+	for i := 0; i < n; i++ {
+		i := i
+		b.jobs = append(b.jobs, func() error { return runCell(s, spec, i, compute, collect) })
+	}
+}
+
+// runCell executes one cell under the session policy.
+func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect func(int, T)) error {
+	if s == nil {
+		collect(i, compute(i))
+		return nil
+	}
+	k := spec.key(i)
+	if s.Merge {
+		var v T
+		if s.Store == nil || !s.Store.Get(k, &v) {
+			return &MissingCellError{Key: k}
+		}
+		s.hits.Add(1)
+		collect(i, v)
+		return nil
+	}
+	if !s.Shard.Covers(i) {
+		return nil
+	}
+	if s.Store != nil {
+		var v T
+		if s.Store.Get(k, &v) {
+			s.hits.Add(1)
+			collect(i, v)
+			return nil
+		}
+	}
+	v := compute(i)
+	s.computed.Add(1)
+	if s.Store != nil {
+		if err := s.Store.Put(k, v); err != nil {
+			return err
+		}
+	}
+	collect(i, v)
+	return nil
+}
+
+// Run executes every registered cell across the pool and empties the
+// batch. It returns the first error (store I/O failure or merge miss);
+// compute panics propagate per the runner contract.
+func (b *Batch) Run(ctx context.Context) error {
+	jobs := b.jobs
+	b.jobs = nil
+	return b.pool.ForEach(ctx, len(jobs), func(_ context.Context, i int) error {
+		return jobs[i]()
+	})
+}
+
+// Run executes one spec's n cells through pool under session — the
+// single-spec convenience over NewBatch/Add/Batch.Run.
+func Run[T any](ctx context.Context, pool runner.Pool, session *Session, spec Spec, n int, compute func(i int) T, collect func(i int, v T)) error {
+	b := NewBatch(pool, session)
+	Add(b, spec, n, compute, collect)
+	return b.Run(ctx)
+}

@@ -1,0 +1,125 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is the on-disk cell cache: one JSON file per record, grouped in
+// a directory per experiment, named by cell index plus the key's
+// content hash. Writes are atomic (temp file + rename) so a concurrent
+// or killed writer can never leave a half-record behind; reads treat
+// any unreadable, undecodable or mismatched file as a miss, so a
+// corrupted cache heals itself by recomputation.
+type Store struct {
+	root string
+}
+
+// Open prepares dir as a cell store, creating it (and parents) when
+// missing and probing writability up front so an unusable -cache-dir
+// fails with a clear message before any simulation runs.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cannot create cache dir %s: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return nil, fmt.Errorf("cache dir %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return &Store{root: dir}, nil
+}
+
+// OpenRead prepares dir as a read-only record source — the -merge
+// pass, which never writes, so a store on a read-only mount (or
+// another user's copied shard output) works. The directory must
+// already exist.
+func OpenRead(dir string) (*Store, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache dir %s: %w", dir, err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("cache dir %s is not a directory", dir)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// envelope pairs the key with the payload on disk, so a read verifies
+// it decoded the record it asked for (guarding against hash collisions
+// and hand-edited files).
+type envelope struct {
+	Key  Key             `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// path places a record at <root>/<experiment>/c<cell>-<hash>.json. The
+// experiment segment is sanitized for the filesystem; the hash is the
+// actual address, the rest is for humans browsing the cache.
+func (s *Store) path(k Key) string {
+	exp := []byte(k.Experiment)
+	for i, c := range exp {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			exp[i] = '_'
+		}
+	}
+	return filepath.Join(s.root, string(exp), fmt.Sprintf("c%04d-%s.json", k.Cell, k.hash()))
+}
+
+// Get decodes the record for k into into (a pointer). It returns false
+// on any miss: no file, unreadable file, malformed JSON, or a stored
+// key that does not match the request.
+func (s *Store) Get(k Key, into any) bool {
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return false
+	}
+	var env envelope
+	if json.Unmarshal(raw, &env) != nil || env.Key != k {
+		return false
+	}
+	return json.Unmarshal(env.Data, into) == nil
+}
+
+// Put atomically persists v as the record for k.
+func (s *Store) Put(k Key, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
+	}
+	raw, err := json.Marshal(envelope{Key: k, Data: data})
+	if err != nil {
+		return fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
+	}
+	path := s.path(k)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("cache: writing cell %d of %q: %w", k.Cell, k.Experiment, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

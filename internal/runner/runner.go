@@ -199,3 +199,22 @@ func Seed(experiment string, cell int) uint64 {
 	h ^= h >> 31
 	return h
 }
+
+// SeedRun derives the seed for repetition run of cell cell — Seed's
+// two-level variant for experiments that repeat each cell several
+// times. Same namespacing guarantee as Seed, plus streams disjoint
+// across runs of one cell; the result is never zero (simulator path
+// specs treat a zero seed as "use the default stream"). Experiments
+// comparing schedulers over shared randomness pass a cell index that
+// excludes the scheduler so both sides see identical draws (the
+// paper's paired design).
+func SeedRun(experiment string, cell, run int) uint64 {
+	s := Seed(experiment, cell) + uint64(run)*0x9e3779b97f4a7c15
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	s ^= s >> 27
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

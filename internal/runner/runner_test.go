@@ -177,3 +177,30 @@ func TestSeedStableAndDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestSeedRunDistinctAndNonZero(t *testing.T) {
+	if a, b := SeedRun("web", 3, 2), SeedRun("web", 3, 2); a != b {
+		t.Fatalf("SeedRun not deterministic: %d vs %d", a, b)
+	}
+	seen := map[uint64]string{}
+	for _, exp := range []string{"fig18", "fig19", "web-browsing"} {
+		for cell := 0; cell < 50; cell++ {
+			for run := 0; run < 30; run++ {
+				s := SeedRun(exp, cell, run)
+				if s == 0 {
+					t.Fatalf("SeedRun(%q, %d, %d) = 0 (zero selects the default stream)", exp, cell, run)
+				}
+				key := fmt.Sprintf("%s/%d/%d", exp, cell, run)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("SeedRun collision: %s and %s both map to %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+	// Run 0 must reuse nothing from the single-level Seed of the same
+	// cell (the addend is mixed before use).
+	if SeedRun("fig18", 0, 0) == Seed("fig18", 0) {
+		t.Fatal("SeedRun(exp, cell, 0) must not equal Seed(exp, cell)")
+	}
+}
