@@ -9,6 +9,8 @@
 //	ecfbench -exp all -cache-dir cache            # cache cells; rerun is instant
 //	ecfbench -exp all -cache-dir cache -shard 0/2 # simulate half the cells
 //	ecfbench -exp all -cache-dir cache -merge     # assemble purely from cache
+//	ecfbench -cache-dir cache -cache-stats        # audit what occupies the store
+//	ecfbench -exp fig9 -cpuprofile cpu.pprof      # profile a run (also -memprofile)
 //
 // Each experiment prints the same rows/series the paper reports (see
 // README.md for the experiment index) on stdout; timing and cache
@@ -25,8 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/experiments"
@@ -144,6 +149,66 @@ func runExperiment(e experiment, sc experiments.Scale) (out fmt.Stringer, err er
 	return e.run(sc), nil
 }
 
+// cacheStats renders the -cache-stats audit: what occupies the store,
+// grouped by (experiment, scale, schema) — the granularity at which
+// records go stale.
+func cacheStats(cacheDir string) {
+	store, err := results.OpenRead(cacheDir)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep, err := store.Audit()
+	if err != nil {
+		fail("auditing %s: %v", cacheDir, err)
+	}
+	fmt.Printf("cache dir %s:\n", cacheDir)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "EXPERIMENT\tSCALE\tSCHEMA\tRECORDS\tBYTES")
+	for _, line := range rep.Lines {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n", line.Experiment, line.Scale, line.Schema, line.Records, line.Bytes)
+	}
+	w.Flush()
+	fmt.Printf("total: %d records, %d bytes", rep.Records, rep.Bytes)
+	if rep.Unreadable > 0 {
+		fmt.Printf(", %d unreadable files", rep.Unreadable)
+	}
+	fmt.Println()
+}
+
+// profiling starts the -cpuprofile collection and returns a function
+// that finalizes both profiles; the caller must run it before exiting
+// normally (error exits skip profiles).
+func profiling(cpu, mem string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fail("-memprofile: %v", err)
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("-memprofile: %v", err)
+			}
+			f.Close()
+		}
+	}
+}
+
 // cacheLine renders the session counter delta as "N hits, M computed
 // (P% hit)"; with no cells at all there is no rate to report.
 func cacheLine(hits, computed int64) string {
@@ -164,8 +229,24 @@ func main() {
 		shardStr = flag.String("shard", "", "run only cells with index%n == i, given as \"i/n\" (requires -cache-dir; join shards with -merge)")
 		merge    = flag.Bool("merge", false, "assemble the report purely from cached records, simulating nothing (requires -cache-dir)")
 		noCache  = flag.Bool("no-cache", false, "ignore -cache-dir: compute every cell, neither reading nor writing the store")
+		stats    = flag.Bool("cache-stats", false, "audit -cache-dir: list experiments/scales/schema versions occupying the store, then exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *stats {
+		if *cacheDir == "" {
+			failUsage("-cache-stats requires -cache-dir (it audits the store)")
+		}
+		if *expName != "" || *shardStr != "" || *merge || *noCache {
+			failUsage("-cache-stats runs alone (no -exp/-shard/-merge/-no-cache)")
+		}
+		cacheStats(*cacheDir)
+		return
+	}
+	stopProfiles := profiling(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	if *list || *expName == "" {
 		names := make([]string, 0, len(catalog))

@@ -106,6 +106,9 @@ type Transfer struct {
 	LastArrival map[int]sim.Time
 
 	done func(*Transfer)
+	// conn backs the closure-free request-delay event (set only for
+	// transfers created via Request).
+	conn *Conn
 }
 
 // Duration returns completion time as seen by the client.
@@ -317,14 +320,21 @@ func (c *Conn) Request(size int64, done func(*Transfer)) *Transfer {
 		RequestedAt: now,
 		LastArrival: make(map[int]sim.Time),
 		done:        done,
+		conn:        c,
 	}
-	c.eng.Schedule(c.requestDelay(), func() {
-		tr.StartedAt = c.eng.Now()
-		tr.StartDSN = c.writeDSN
-		tr.EndDSN = c.writeDSN + size
-		c.admitTransfer(tr)
-	})
+	c.eng.ScheduleCall(c.requestDelay(), startRequestedTransfer, tr)
 	return tr
+}
+
+// startRequestedTransfer dispatches the request-latency event without a
+// closure: the server begins writing the response.
+func startRequestedTransfer(arg any) {
+	tr := arg.(*Transfer)
+	c := tr.conn
+	tr.StartedAt = c.eng.Now()
+	tr.StartDSN = c.writeDSN
+	tr.EndDSN = c.writeDSN + tr.Bytes
+	c.admitTransfer(tr)
 }
 
 // requestDelay returns the client-to-server request latency.

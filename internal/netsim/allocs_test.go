@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestLinkSteadyStateAllocs pins the tentpole invariant of the
+// allocation-free core: once the engine arena and the link's in-flight
+// ring have grown to the working set, forwarding a packet (Send +
+// departure + arrival + delivery) allocates nothing.
+func TestLinkSteadyStateAllocs(t *testing.T) {
+	eng := sim.New()
+	l := NewLink(eng, LinkConfig{
+		Name:       "allocs",
+		RateBps:    100e6,
+		Delay:      2 * time.Millisecond,
+		QueueBytes: 1 << 20,
+	}, func(Packet) {})
+	const batch = 64
+	cycle := func() {
+		for i := 0; i < batch; i++ {
+			l.Send(Packet{Kind: Data, Size: 1200})
+		}
+		eng.Run()
+	}
+	cycle() // warm the arena, heap and ring
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("steady-state link forwarding allocates %v per %d-packet batch, want 0", avg, batch)
+	}
+}
+
+// TestLinkLossySteadyStateAllocs covers the RNG delivery branch.
+func TestLinkLossySteadyStateAllocs(t *testing.T) {
+	eng := sim.New()
+	l := NewLink(eng, LinkConfig{
+		Name:       "allocs",
+		RateBps:    100e6,
+		Delay:      2 * time.Millisecond,
+		QueueBytes: 1 << 20,
+		LossRate:   0.2,
+		Seed:       11,
+	}, func(Packet) {})
+	const batch = 64
+	cycle := func() {
+		for i := 0; i < batch; i++ {
+			l.Send(Packet{Kind: Data, Size: 1200})
+		}
+		eng.Run()
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("lossy link forwarding allocates %v per %d-packet batch, want 0", avg, batch)
+	}
+}
+
+// TestTokenBucketSteadyStateAllocs pins the shaper's drain scheduling
+// (closure-free since the arena rewrite; the backlog slice itself
+// reaches steady capacity).
+func TestTokenBucketSteadyStateAllocs(t *testing.T) {
+	eng := sim.New()
+	line := NewLink(eng, LinkConfig{
+		Name:       "line",
+		RateBps:    1e9,
+		Delay:      time.Millisecond,
+		QueueBytes: 1 << 20,
+	}, func(Packet) {})
+	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 10e6}, line)
+	const batch = 16
+	cycle := func() {
+		for i := 0; i < batch; i++ {
+			tb.Send(Packet{Kind: Data, Size: 1200})
+		}
+		eng.Run()
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("token-bucket shaping allocates %v per %d-packet batch, want 0", avg, batch)
+	}
+}

@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkLinkSend measures the steady-state per-packet cost of a link
+// traversal (Send + serialization + propagation + delivery), with a
+// window of packets kept in flight so the pipe never idles — the shape
+// of every data path in the simulator.
+func BenchmarkLinkSend(b *testing.B) {
+	eng := sim.New()
+	l := NewLink(eng, LinkConfig{
+		Name:       "bench",
+		RateBps:    100e6,
+		Delay:      5 * time.Millisecond,
+		QueueBytes: 1 << 20,
+	}, nil)
+	sent := 0
+	l.SetReceiver(func(p Packet) {
+		if sent < b.N {
+			sent++
+			l.Send(Packet{Kind: Data, Size: 1200})
+		}
+	})
+	prime := 64
+	if prime > b.N {
+		prime = b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < prime; i++ {
+		sent++
+		l.Send(Packet{Kind: Data, Size: 1200})
+	}
+	eng.Run()
+}
+
+// BenchmarkLinkSendLossy is BenchmarkLinkSend with the random-loss
+// process enabled, covering the RNG branch of delivery.
+func BenchmarkLinkSendLossy(b *testing.B) {
+	eng := sim.New()
+	l := NewLink(eng, LinkConfig{
+		Name:       "bench",
+		RateBps:    100e6,
+		Delay:      5 * time.Millisecond,
+		QueueBytes: 1 << 20,
+		LossRate:   0.01,
+		Seed:       7,
+	}, nil)
+	sent := 0
+	l.SetReceiver(func(p Packet) {
+		if sent < b.N {
+			sent++
+			l.Send(Packet{Kind: Data, Size: 1200})
+		}
+	})
+	prime := 64
+	if prime > b.N {
+		prime = b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < prime; i++ {
+		sent++
+		l.Send(Packet{Kind: Data, Size: 1200})
+	}
+	// Losses shrink the in-flight window; top it back up until every
+	// packet has been sent.
+	for eng.Run(); sent < b.N; eng.Run() {
+		sent++
+		l.Send(Packet{Kind: Data, Size: 1200})
+	}
+}

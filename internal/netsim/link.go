@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -19,12 +20,35 @@ type LinkStats struct {
 	Bytes     int64 // payload+header bytes delivered
 }
 
+// flight is one in-flight packet: accepted onto the link, not yet
+// delivered. departure is when it finishes serialization (freeing queue
+// space); arrival is when it reaches the receiver. The two tickets are
+// the tie-break positions those sub-events occupy in the engine's total
+// order, reserved at Send time — exactly where the former
+// two-events-per-packet scheme obtained its sequence numbers, which is
+// what keeps same-timestamp ordering (and therefore experiment output)
+// byte-identical across the single-drain rewrite.
+type flight struct {
+	pkt       Packet
+	departure sim.Time
+	arrival   sim.Time
+	depTk     sim.Ticket
+	arrTk     sim.Ticket
+}
+
 // Link is a unidirectional rate-shaped channel: a drop-tail FIFO feeding a
 // serializer at Rate bits/s, followed by fixed propagation Delay.
 //
 // The queue limit bounds the bytes waiting for or in serialization, which
 // is what produces the bufferbloat the paper measures in Table 2 (a 0.3
 // Mbps link behind tens of kilobytes of buffer shows ~1 s RTTs).
+//
+// Internally the link keeps its in-flight packets in a ring buffer and
+// runs a single self-rescheduling drain event, rather than two heap
+// events per packet: both the serializer (departure) and the propagation
+// pipe (arrival) are FIFO, so the earliest pending sub-event is always at
+// one of two ring cursors. Steady-state forwarding therefore allocates
+// nothing — see the allocs-per-packet regression test.
 type Link struct {
 	eng  *sim.Engine
 	name string
@@ -42,6 +66,23 @@ type Link struct {
 	rng         *sim.RNG
 	dst         Receiver
 	tracer      *Tracer
+
+	// ring holds in-flight packets addressed by absolute counters:
+	// [head, tail) are accepted-but-undelivered entries, of which
+	// [head, dep) have departed the serializer. head <= dep <= tail.
+	ring ring.Ring[flight]
+	head uint64
+	dep  uint64
+	tail uint64
+
+	// drainTimer is the single pending drain event (inactive when nothing
+	// is in flight), armed at the earliest pending sub-event's time under
+	// its reserved ticket; drainAt/drainTk mirror that arming. draining
+	// suppresses rescheduling while the drain itself runs.
+	drainTimer sim.Timer
+	drainAt    sim.Time
+	drainTk    sim.Ticket
+	draining   bool
 
 	stats LinkStats
 }
@@ -169,23 +210,123 @@ func (l *Link) Send(p Packet) bool {
 	}
 	l.lastArrival = arrival
 
-	l.eng.At(departure, func() {
-		l.queued -= p.Size
+	l.push(flight{
+		pkt:       p,
+		departure: departure,
+		arrival:   arrival,
+		depTk:     l.eng.ReserveTicket(),
+		arrTk:     l.eng.ReserveTicket(),
 	})
-	l.eng.At(arrival, func() {
-		if l.lossRate > 0 && l.rng.Float64() < l.lossRate {
-			l.stats.Lost++
-			if l.tracer != nil {
-				l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceLoss, Link: l.name, Pkt: p})
-			}
+	l.scheduleDrain()
+	return true
+}
+
+// push appends an in-flight entry.
+func (l *Link) push(f flight) {
+	l.ring.Push(l.head, l.tail, f)
+	l.tail++
+}
+
+// at returns the in-flight entry with absolute index k.
+func (l *Link) at(k uint64) *flight {
+	return l.ring.At(k)
+}
+
+// nextEvent returns the earliest pending sub-event: its time, its
+// reserved ticket, and whether it is a departure. Departures and
+// arrivals are each FIFO-monotone in both time and ticket, so the
+// earliest pending sub-event is always at one of the two cursors; on a
+// time tie the lower ticket wins (a pending arrival always belongs to an
+// earlier packet than the departure cursor's, hence holds the lower
+// ticket).
+func (l *Link) nextEvent() (t sim.Time, tk sim.Ticket, doDep, ok bool) {
+	switch {
+	case l.dep < l.tail && l.head < l.dep:
+		d := l.at(l.dep)
+		a := l.at(l.head)
+		if d.departure < a.arrival {
+			return d.departure, d.depTk, true, true
+		}
+		return a.arrival, a.arrTk, false, true
+	case l.dep < l.tail:
+		d := l.at(l.dep)
+		return d.departure, d.depTk, true, true
+	case l.head < l.tail:
+		a := l.at(l.head)
+		return a.arrival, a.arrTk, false, true
+	default:
+		return 0, 0, false, false
+	}
+}
+
+// scheduleDrain (re)arms the drain event for the earliest pending
+// sub-event, under that sub-event's reserved ticket. A new packet can
+// introduce an earlier sub-event than the one the timer waits on (its
+// departure may precede the head arrival), so an active-but-late timer
+// is moved up.
+func (l *Link) scheduleDrain() {
+	if l.draining {
+		return // the running drain re-arms on exit
+	}
+	t, tk, _, ok := l.nextEvent()
+	if !ok {
+		return
+	}
+	if l.drainTimer.Active() {
+		if l.drainAt < t || (l.drainAt == t && l.drainTk <= tk) {
 			return
 		}
-		l.stats.Delivered++
-		l.stats.Bytes += int64(p.Size)
+		l.drainTimer.Cancel()
+	}
+	l.drainAt = t
+	l.drainTk = tk
+	l.drainTimer = l.eng.AtTicket(t, tk, drainLink, l)
+}
+
+// drainLink dispatches the drain event without a closure.
+func drainLink(arg any) { arg.(*Link).drain() }
+
+// drain fires for exactly one sub-event — the one the timer was armed
+// for — then re-arms for the next. One sub-event per firing (rather than
+// batch-processing everything due) is what lets other models' events
+// interleave at the same timestamp exactly as they did when each
+// sub-event was its own queue entry: the next pending sub-event goes
+// back into the queue under its own reserved ticket and competes there.
+func (l *Link) drain() {
+	_, _, doDep, ok := l.nextEvent()
+	if !ok {
+		return
+	}
+	if doDep {
+		l.queued -= l.at(l.dep).pkt.Size
+		l.dep++
+		l.scheduleDrain()
+		return
+	}
+	f := *l.at(l.head)
+	l.head++
+	// Deliver with rescheduling suppressed: the receiver may reentrantly
+	// Send on this link, and the re-arm below must pick the earliest
+	// pending sub-event exactly once.
+	l.draining = true
+	l.deliver(f.pkt)
+	l.draining = false
+	l.scheduleDrain()
+}
+
+// deliver applies the loss process and hands the packet to the receiver.
+func (l *Link) deliver(p Packet) {
+	if l.lossRate > 0 && l.rng.Float64() < l.lossRate {
+		l.stats.Lost++
 		if l.tracer != nil {
-			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDeliver, Link: l.name, Pkt: p})
+			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceLoss, Link: l.name, Pkt: p})
 		}
-		l.dst(p)
-	})
-	return true
+		return
+	}
+	l.stats.Delivered++
+	l.stats.Bytes += int64(p.Size)
+	if l.tracer != nil {
+		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDeliver, Link: l.name, Pkt: p})
+	}
+	l.dst(p)
 }

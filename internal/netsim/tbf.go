@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -24,9 +25,13 @@ type TokenBucket struct {
 	lastRefill  sim.Time
 	queueLimit  int // bytes waiting for tokens
 	queuedBytes int
-	queue       []Packet
-	next        *Link
-	draining    bool
+	// queue is the token backlog: [qhead, qtail) live, FIFO. The ring
+	// reuses its buffer forever, so the backlog allocates only until it
+	// reaches its high-water mark.
+	queue        ring.Ring[Packet]
+	qhead, qtail uint64
+	next         *Link
+	draining     bool
 
 	dropped int64
 	shaped  int64
@@ -96,7 +101,7 @@ func (tb *TokenBucket) refill() {
 // Send shapes one packet. It returns false when the packet was dropped.
 func (tb *TokenBucket) Send(p Packet) bool {
 	tb.refill()
-	if len(tb.queue) == 0 && tb.tokens >= float64(p.Size) {
+	if tb.qhead == tb.qtail && tb.tokens >= float64(p.Size) {
 		tb.tokens -= float64(p.Size)
 		return tb.next.Send(p)
 	}
@@ -105,7 +110,8 @@ func (tb *TokenBucket) Send(p Packet) bool {
 		return false
 	}
 	tb.shaped++
-	tb.queue = append(tb.queue, p)
+	tb.queue.Push(tb.qhead, tb.qtail, p)
+	tb.qtail++
 	tb.queuedBytes += p.Size
 	tb.scheduleDrain()
 	return true
@@ -114,25 +120,29 @@ func (tb *TokenBucket) Send(p Packet) bool {
 // scheduleDrain arms a timer for when enough tokens exist for the head
 // packet.
 func (tb *TokenBucket) scheduleDrain() {
-	if tb.draining || len(tb.queue) == 0 {
+	if tb.draining || tb.qhead == tb.qtail {
 		return
 	}
 	tb.draining = true
-	need := float64(tb.queue[0].Size) - tb.tokens
+	need := float64(tb.queue.At(tb.qhead).Size) - tb.tokens
 	wait := time.Duration(0)
 	if need > 0 {
 		wait = time.Duration(need / tb.rate * float64(time.Second))
 	}
-	tb.eng.Schedule(wait, tb.drain)
+	tb.eng.ScheduleCall(wait, drainTokenBucket, tb)
 }
+
+// drainTokenBucket dispatches the drain event without a closure (a
+// method value like tb.drain would allocate on every arm).
+func drainTokenBucket(arg any) { arg.(*TokenBucket).drain() }
 
 // drain forwards queued packets while tokens allow.
 func (tb *TokenBucket) drain() {
 	tb.draining = false
 	tb.refill()
-	for len(tb.queue) > 0 && tb.tokens >= float64(tb.queue[0].Size) {
-		p := tb.queue[0]
-		tb.queue = tb.queue[1:]
+	for tb.qhead < tb.qtail && tb.tokens >= float64(tb.queue.At(tb.qhead).Size) {
+		p := *tb.queue.At(tb.qhead)
+		tb.qhead++
 		tb.queuedBytes -= p.Size
 		tb.tokens -= float64(p.Size)
 		tb.next.Send(p)

@@ -1,0 +1,99 @@
+package results
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// AuditLine summarizes the records one (experiment, scale, schema) group
+// occupies in a store — the unit at which cache entries become stale
+// (a schema bump or scale change strands the whole group).
+type AuditLine struct {
+	Experiment string
+	Scale      string
+	Schema     int
+	Records    int
+	Bytes      int64
+}
+
+// AuditReport is the result of walking a store.
+type AuditReport struct {
+	// Lines is sorted by (experiment, scale, schema).
+	Lines []AuditLine
+	// Records and Bytes total the readable records.
+	Records int
+	Bytes   int64
+	// Unreadable counts files that failed to parse as records (partial
+	// writes from killed processes, hand-edited files). They are normal
+	// cache misses at read time; the audit surfaces them so an operator
+	// can judge whether a store is worth keeping.
+	Unreadable int
+}
+
+// Audit walks the store and groups every record by (experiment, scale,
+// schema) — the -cache-stats mode, answering "what is occupying this
+// cache dir and which of it would a current run still read?".
+func (s *Store) Audit() (*AuditReport, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		exp    string
+		scale  string
+		schema int
+	}
+	groups := make(map[group]*AuditLine)
+	rep := &AuditReport{}
+	for _, dir := range entries {
+		if !dir.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, dir.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if f.IsDir() || filepath.Ext(f.Name()) != ".json" {
+				continue
+			}
+			path := filepath.Join(s.root, dir.Name(), f.Name())
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				rep.Unreadable++
+				continue
+			}
+			var env envelope
+			if json.Unmarshal(raw, &env) != nil || env.Key.Experiment == "" {
+				rep.Unreadable++
+				continue
+			}
+			g := group{env.Key.Experiment, env.Key.Scale, env.Key.Schema}
+			line := groups[g]
+			if line == nil {
+				line = &AuditLine{Experiment: g.exp, Scale: g.scale, Schema: g.schema}
+				groups[g] = line
+			}
+			line.Records++
+			line.Bytes += int64(len(raw))
+			rep.Records++
+			rep.Bytes += int64(len(raw))
+		}
+	}
+	for _, line := range groups {
+		rep.Lines = append(rep.Lines, *line)
+	}
+	sort.Slice(rep.Lines, func(i, j int) bool {
+		a, b := rep.Lines[i], rep.Lines[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		return a.Schema < b.Schema
+	})
+	return rep, nil
+}

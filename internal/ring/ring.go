@@ -1,0 +1,45 @@
+// Package ring provides the absolute-indexed circular buffer backing
+// the simulator's in-flight FIFOs (netsim.Link's flight ring,
+// tcp.Subflow's inflight segment ring). The caller owns its cursors —
+// monotonically increasing absolute counters — and the ring guarantees
+// that entry k stays at a stable masked position while live, growing by
+// doubling when the live span fills the buffer. Steady-state push/read
+// allocates nothing once the buffer has reached the working-set size.
+package ring
+
+// Ring is a power-of-two-sized circular buffer addressed by absolute
+// index. The zero value is ready to use.
+type Ring[T any] struct {
+	buf []T
+}
+
+// Push stores v at absolute index tail, where [head, tail) is the live
+// span; the caller increments its tail counter afterwards.
+func (r *Ring[T]) Push(head, tail uint64, v T) {
+	if int(tail-head) == len(r.buf) {
+		r.grow(head, tail)
+	}
+	r.buf[tail&uint64(len(r.buf)-1)] = v
+}
+
+// At returns the entry at absolute index k, which must lie in the live
+// span.
+func (r *Ring[T]) At(k uint64) *T {
+	return &r.buf[k&uint64(len(r.buf)-1)]
+}
+
+// grow doubles the buffer, re-placing live entries at their new masked
+// positions.
+func (r *Ring[T]) grow(head, tail uint64) {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 8
+	}
+	fresh := make([]T, size)
+	oldMask := uint64(len(r.buf) - 1)
+	newMask := uint64(size - 1)
+	for k := head; k < tail; k++ {
+		fresh[k&newMask] = r.buf[k&oldMask]
+	}
+	r.buf = fresh
+}

@@ -1,0 +1,49 @@
+package ring
+
+import "testing"
+
+func TestPushGrowAndWrap(t *testing.T) {
+	var r Ring[int]
+	var head, tail uint64
+	// Interleave pushes and pops across several growth boundaries,
+	// checking every live entry after each operation.
+	check := func() {
+		t.Helper()
+		for k := head; k < tail; k++ {
+			if got := *r.At(k); got != int(k) {
+				t.Fatalf("entry %d = %d, want %d (len %d)", k, got, k, len(r.buf))
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		r.Push(head, tail, int(tail))
+		tail++
+		if i%3 == 0 && head < tail {
+			head++ // pop
+		}
+		check()
+	}
+	if len(r.buf)&(len(r.buf)-1) != 0 {
+		t.Fatalf("buffer length %d is not a power of two", len(r.buf))
+	}
+}
+
+func TestSteadyStatePushAllocates0(t *testing.T) {
+	var r Ring[int]
+	var head, tail uint64
+	for i := 0; i < 64; i++ {
+		r.Push(head, tail, i)
+		tail++
+	}
+	head = tail // drain
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			r.Push(head, tail, i)
+			tail++
+		}
+		head = tail
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state push allocates %v per batch, want 0", avg)
+	}
+}

@@ -4,10 +4,21 @@
 // run on virtual time supplied by an Engine. Events execute in strict
 // timestamp order; ties are broken by scheduling order, which makes every
 // simulation fully deterministic for a given seed.
+//
+// # Allocation contract
+//
+// The engine is built for allocation-free steady-state operation: timers
+// live in an engine-owned arena recycled through a free list, the event
+// queue is an index-addressed 4-ary min-heap over that arena, and the
+// closure-free ScheduleCall/AtCall forms let hot-path callers (links,
+// subflows, shapers) schedule events without capturing anything. Once the
+// arena and heap have grown to a simulation's working set, scheduling,
+// firing and cancelling timers perform zero heap allocations — the
+// AllocsPerRun regression tests in this package and in netsim/tcp pin
+// that at ~0 allocations per packet.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -15,25 +26,63 @@ import (
 // Time is a point in virtual time, measured from the simulation epoch (0).
 type Time = time.Duration
 
-// Timer is a handle for a scheduled event. A Timer can be cancelled or
-// queried; it is returned by Engine.Schedule and Engine.At.
+// noSlot terminates the arena free list.
+const noSlot = -1
+
+// Timer is a generation-checked handle for a scheduled event, returned by
+// the Schedule/At families. The zero value is inert: Cancel is a no-op
+// and Active reports false. Handles stay safe after the event fires or is
+// cancelled — the underlying arena slot is recycled, but the generation
+// check makes a stale handle's Cancel a no-op rather than a cancellation
+// of an unrelated reused timer.
 type Timer struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 once popped
+	e    *Engine
+	slot int32
+	gen  uint32
 }
 
-// At returns the virtual time the timer is scheduled to fire.
-func (t *Timer) At() Time { return t.at }
+// Active reports whether the timer is still scheduled (not yet fired and
+// not cancelled).
+func (t Timer) Active() bool {
+	return t.e != nil && t.e.arena[t.slot].gen == t.gen
+}
 
-// Cancel prevents the timer from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
-func (t *Timer) Cancel() { t.cancelled = true }
+// At returns the virtual time the timer is scheduled to fire, or 0 if it
+// already fired or was cancelled.
+func (t Timer) At() Time {
+	if !t.Active() {
+		return 0
+	}
+	return t.e.arena[t.slot].at
+}
 
-// Cancelled reports whether Cancel has been called.
-func (t *Timer) Cancelled() bool { return t.cancelled }
+// Cancel removes the timer from the queue eagerly, so cancelled events
+// cost no queue space and no pop-time filtering (RTO-heavy runs re-arm
+// and cancel a timer per segment). Cancelling an already-fired or
+// already-cancelled timer — or the zero Timer — is a no-op.
+func (t Timer) Cancel() {
+	e := t.e
+	if e == nil {
+		return
+	}
+	s := &e.arena[t.slot]
+	if s.gen != t.gen {
+		return // already fired, cancelled, or slot reused
+	}
+	e.heapRemove(int(s.pos))
+	e.freeSlot(t.slot)
+}
+
+// slot is one arena entry. While scheduled, pos is the timer's index in
+// the heap; while free, pos chains the free list.
+type slot struct {
+	at  Time
+	seq uint64
+	fn  func(any)
+	arg any
+	gen uint32
+	pos int32
+}
 
 // Engine is a discrete-event scheduler over virtual time.
 //
@@ -41,8 +90,14 @@ func (t *Timer) Cancelled() bool { return t.cancelled }
 // for concurrent use: simulations are single-goroutine by design, which is
 // what makes them reproducible.
 type Engine struct {
-	now     Time
-	queue   timerHeap
+	now      Time
+	arena    []slot
+	freeHead int32
+	// heap is a 4-ary min-heap of arena indices ordered by (at, seq).
+	// 4-ary beats binary here: sift-down does 3 extra comparisons per
+	// level but halves the levels, and the shallow tree keeps the hot
+	// top-of-heap entries in one cache line of indices.
+	heap    []int32
 	seq     uint64
 	stopped bool
 	// processed counts events that have been executed.
@@ -51,7 +106,7 @@ type Engine struct {
 
 // New returns an empty Engine positioned at time 0.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{freeHead: noSlot}
 }
 
 // Now returns the current virtual time.
@@ -60,14 +115,17 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled ones that have not yet been discarded.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events waiting in the queue. Cancelled
+// timers are removed eagerly and never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule arranges for fn to run delay from now. A negative delay is
 // treated as zero (run "immediately", after currently queued events at the
 // same timestamp). The returned Timer may be used to cancel the event.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+//
+// The closure form is for setup and cold paths; per-packet scheduling
+// should use ScheduleCall/AtCall, which allocate nothing.
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -76,17 +134,111 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 
 // At arranges for fn to run at absolute virtual time t. If t is in the
 // past it is clamped to the current time.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
+	// A func value is pointer-shaped, so boxing it into the arg interface
+	// does not allocate; the closure itself (if it captures) is the
+	// caller's allocation.
+	return e.schedule(t, callClosure, fn)
+}
+
+// callClosure adapts the closure form onto the (fn, arg) representation.
+func callClosure(arg any) { arg.(func())() }
+
+// ScheduleCall is the closure-free form of Schedule: fn is invoked with
+// arg when the timer fires. With a package-level fn and a pointer-shaped
+// arg (the idiom: a package-level dispatch function asserting arg back to
+// the model struct), scheduling captures nothing and allocates nothing.
+func (e *Engine) ScheduleCall(delay time.Duration, fn func(any), arg any) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtCall(e.now+delay, fn, arg)
+}
+
+// AtCall is the closure-free form of At.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: AtCall called with nil function")
+	}
+	return e.schedule(t, fn, arg)
+}
+
+// Ticket is a reserved position in the engine's tie-break order. Models
+// that multiplex several logical events through one timer (netsim.Link's
+// drain) reserve a ticket per logical event up front and later schedule
+// the shared timer under the earliest pending ticket — so same-timestamp
+// ordering against every other event is exactly what scheduling each
+// logical event individually would have produced. That equivalence is
+// what keeps experiment output byte-identical across the multiplexing.
+type Ticket uint64
+
+// ReserveTicket claims the next position in the tie-break order, exactly
+// as scheduling an event at this point would.
+func (e *Engine) ReserveTicket() Ticket {
+	e.seq++
+	return Ticket(e.seq)
+}
+
+// AtTicket arranges for fn(arg) to run at absolute time t occupying a
+// previously reserved tie-break position. Each ticket may back at most
+// one scheduled timer at a time; reusing a ticket after its timer fired
+// or was cancelled is allowed (the drain pattern re-arms under the next
+// pending ticket).
+func (e *Engine) AtTicket(t Time, tk Ticket, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: AtTicket called with nil function")
+	}
+	return e.scheduleSeq(t, uint64(tk), fn, arg)
+}
+
+// schedule places (fn, arg) into the arena and heap under a fresh
+// sequence number.
+func (e *Engine) schedule(t Time, fn func(any), arg any) Timer {
+	e.seq++
+	return e.scheduleSeq(t, e.seq, fn, arg)
+}
+
+// scheduleSeq places (fn, arg) into the arena and heap under an explicit
+// tie-break sequence number.
+func (e *Engine) scheduleSeq(t Time, seq uint64, fn func(any), arg any) Timer {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, tm)
-	return tm
+	si := e.allocSlot()
+	s := &e.arena[si]
+	s.at = t
+	s.seq = seq
+	s.fn = fn
+	s.arg = arg
+	e.heap = append(e.heap, si)
+	e.siftUp(len(e.heap) - 1)
+	return Timer{e: e, slot: si, gen: s.gen}
+}
+
+// allocSlot pops the free list, growing the arena only when it is empty.
+func (e *Engine) allocSlot() int32 {
+	if e.freeHead != noSlot {
+		si := e.freeHead
+		e.freeHead = e.arena[si].pos
+		return si
+	}
+	e.arena = append(e.arena, slot{})
+	return int32(len(e.arena) - 1)
+}
+
+// freeSlot retires a fired or cancelled slot: the generation bump
+// invalidates outstanding handles, and clearing fn/arg releases whatever
+// the event referenced.
+func (e *Engine) freeSlot(si int32) {
+	s := &e.arena[si]
+	s.gen++
+	s.fn = nil
+	s.arg = nil
+	s.pos = e.freeHead
+	e.freeHead = si
 }
 
 // Stop aborts the current Run/RunUntil after the in-flight event returns.
@@ -94,23 +246,26 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single earliest pending event and returns true, or
-// returns false if the queue is empty. Cancelled events are discarded
-// without executing.
+// returns false if the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		tm := heap.Pop(&e.queue).(*Timer)
-		if tm.cancelled {
-			continue
-		}
-		if tm.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v < %v", tm.at, e.now))
-		}
-		e.now = tm.at
-		e.processed++
-		tm.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	si := e.heap[0]
+	s := &e.arena[si]
+	if s.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", s.at, e.now))
+	}
+	e.now = s.at
+	e.processed++
+	fn, arg := s.fn, s.arg
+	// Retire the slot before running the callback so the event can
+	// reschedule (reusing this very slot) and so its own handle is
+	// already stale inside the callback.
+	e.heapRemove(0)
+	e.freeSlot(si)
+	fn(arg)
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -125,11 +280,7 @@ func (e *Engine) Run() {
 // after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped {
-		tm := e.peek()
-		if tm == nil || tm.at > deadline {
-			break
-		}
+	for !e.stopped && len(e.heap) > 0 && e.arena[e.heap[0]].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -137,48 +288,81 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// peek returns the earliest non-cancelled timer without executing it.
-func (e *Engine) peek() *Timer {
-	for len(e.queue) > 0 {
-		tm := e.queue[0]
-		if !tm.cancelled {
-			return tm
+// less orders heap entries by (at, seq): earliest first, scheduling order
+// breaking ties — the determinism invariant every model relies on.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.arena[a], &e.arena[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores heap order for the entry at heap index i, moving it
+// toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	si := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(si, h[p]) {
+			break
 		}
-		heap.Pop(&e.queue)
+		h[i] = h[p]
+		e.arena[h[i]].pos = int32(i)
+		i = p
 	}
-	return nil
+	h[i] = si
+	e.arena[si].pos = int32(i)
 }
 
-// timerHeap is a min-heap ordered by (at, seq).
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// siftDown restores heap order for the entry at heap index i, moving it
+// toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	si := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], si) {
+			break
+		}
+		h[i] = h[best]
+		e.arena[h[i]].pos = int32(i)
+		i = best
 	}
-	return h[i].seq < h[j].seq
+	h[i] = si
+	e.arena[si].pos = int32(i)
 }
 
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *timerHeap) Push(x any) {
-	tm := x.(*Timer)
-	tm.index = len(*h)
-	*h = append(*h, tm)
-}
-
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	tm.index = -1
-	*h = old[:n-1]
-	return tm
+// heapRemove deletes the entry at heap index i in O(log n), the operation
+// that makes eager Cancel cheap.
+func (e *Engine) heapRemove(i int) {
+	h := e.heap
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if i == n {
+		return
+	}
+	h[i] = last
+	e.arena[last].pos = int32(i)
+	if i > 0 && e.less(last, h[(i-1)>>2]) {
+		e.siftUp(i)
+	} else {
+		e.siftDown(i)
+	}
 }

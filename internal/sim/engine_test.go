@@ -79,8 +79,8 @@ func TestCancelPreventsFiring(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled timer fired")
 	}
-	if !tm.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if tm.Active() {
+		t.Fatal("Active() = true after Cancel")
 	}
 }
 

@@ -42,7 +42,7 @@ type SubflowRecv struct {
 
 	pendingAck  bool
 	pendingPkt  netsim.Packet
-	delayTimer  *sim.Timer
+	delayTimer  sim.Timer
 	acksSent    int64
 	acksDelayed int64
 
@@ -115,21 +115,20 @@ func (r *SubflowRecv) OnPacket(p netsim.Packet) {
 		r.pendingAck = true
 		r.pendingPkt = p
 		r.acksDelayed++
-		r.delayTimer = r.eng.Schedule(40*time.Millisecond, func() {
-			r.flushPending()
-		})
+		r.delayTimer = r.eng.ScheduleCall(40*time.Millisecond, flushDelayedAck, r)
 		return
 	}
 	r.cancelPending()
 	r.sendAck(p, dataAck, window)
 }
 
+// flushDelayedAck dispatches the delayed-ACK timer without a closure.
+func flushDelayedAck(arg any) { arg.(*SubflowRecv).flushPending() }
+
 // cancelPending drops the held ACK state (a fresher ACK supersedes it).
 func (r *SubflowRecv) cancelPending() {
-	if r.delayTimer != nil {
-		r.delayTimer.Cancel()
-		r.delayTimer = nil
-	}
+	r.delayTimer.Cancel()
+	r.delayTimer = sim.Timer{}
 	r.pendingAck = false
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -87,13 +88,18 @@ type SubflowStats struct {
 // tcp_moderate_cwnd with a slightly wider allowance).
 const maxBurstSegments = 10
 
-// segment is one in-flight subflow-level segment.
+// segment is one in-flight subflow-level segment. Segments are pooled
+// per subflow: acked segments return to a free list and are reused by
+// later sends, so steady-state transfer allocates no segment memory. The
+// owner pointer lets the pacer schedule a transmit with the segment
+// itself as the closure-free event argument.
 type segment struct {
 	seq    int64 // subflow sequence (start byte)
 	dsn    int64 // data sequence (start byte)
 	length int
 	sentAt sim.Time
 	rtx    int // retransmission count
+	owner  *Subflow
 }
 
 // Subflow is the sender side of one MPTCP subflow.
@@ -104,11 +110,19 @@ type Subflow struct {
 	conn ConnHooks
 	ctrl cc.Controller
 
-	nextSeq       int64
-	sndUna        int64
-	inflight      map[int64]*segment
-	inflightSegs  int
-	inflightBytes int
+	nextSeq int64
+	sndUna  int64
+	// inflight is a seq-ordered ring of unacknowledged segments
+	// ([infHead, infTail) live, in increasing-seq order). Sends append at
+	// the tail; cumulative ACKs pop a prefix — segments are contiguous in
+	// sequence space, so the acked set is always a prefix — and
+	// retransmission paths only ever need the head segment (the one
+	// starting at sndUna). No map hashing, no per-segment allocation.
+	inflight         ring.Ring[*segment]
+	infHead, infTail uint64
+	segPool          []*segment
+	inflightSegs     int
+	inflightBytes    int
 
 	cwnd          float64
 	ssthresh      float64
@@ -123,7 +137,7 @@ type Subflow struct {
 	dupSacked int
 
 	rtt        *RTTEstimator
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	rtoBackoff time.Duration // multiplier, 1 when no backoff
 
 	lastSendTime sim.Time
@@ -157,7 +171,6 @@ func NewSubflow(eng *sim.Engine, cfg Config, path *netsim.Path, ctrl cc.Controll
 		path:          path,
 		conn:          conn,
 		ctrl:          ctrl,
-		inflight:      make(map[int64]*segment),
 		cwnd:          cfg.InitialCwnd,
 		ssthresh:      1 << 30,
 		recoveryPoint: -1,
@@ -288,15 +301,64 @@ func (s *Subflow) PrepareSend() {
 	}
 }
 
+// allocSeg takes a segment from the pool, falling back to the heap only
+// until the pool has grown to the transfer's in-flight working set.
+func (s *Subflow) allocSeg() *segment {
+	if n := len(s.segPool); n > 0 {
+		seg := s.segPool[n-1]
+		s.segPool = s.segPool[:n-1]
+		return seg
+	}
+	return &segment{owner: s}
+}
+
+// freeSeg recycles an acked segment. Only transmitted segments can be
+// acked, and only never-transmitted segments are referenced by pending
+// paced-transmit events, so a recycled segment is never still reachable
+// from the event queue.
+func (s *Subflow) freeSeg(seg *segment) {
+	s.segPool = append(s.segPool, seg)
+}
+
+// pushSeg appends to the inflight ring.
+func (s *Subflow) pushSeg(seg *segment) {
+	s.inflight.Push(s.infHead, s.infTail, seg)
+	s.infTail++
+}
+
+// frontSeg returns the lowest-sequence in-flight segment, or nil.
+func (s *Subflow) frontSeg() *segment {
+	if s.infHead == s.infTail {
+		return nil
+	}
+	return *s.inflight.At(s.infHead)
+}
+
+// unaSegment returns the in-flight segment starting exactly at sndUna
+// (the retransmission candidate), or nil — e.g. when the cumulative ACK
+// landed mid-segment. Equivalent to the former map lookup: sndUna can
+// only match the ring head, every earlier segment being fully acked.
+func (s *Subflow) unaSegment() *segment {
+	if seg := s.frontSeg(); seg != nil && seg.seq == s.sndUna {
+		return seg
+	}
+	return nil
+}
+
 // SendSegment transmits payload [dsn, dsn+length) as a new subflow-level
 // segment. The caller must have verified CanSend.
 func (s *Subflow) SendSegment(dsn int64, length int) {
 	if length <= 0 {
 		panic(fmt.Sprintf("tcp: SendSegment with length %d", length))
 	}
-	seg := &segment{seq: s.nextSeq, dsn: dsn, length: length}
+	seg := s.allocSeg()
+	seg.seq = s.nextSeq
+	seg.dsn = dsn
+	seg.length = length
+	seg.sentAt = 0
+	seg.rtx = 0
 	s.nextSeq += int64(length)
-	s.inflight[seg.seq] = seg
+	s.pushSeg(seg)
 	s.inflightSegs++
 	s.inflightBytes += length
 	s.stats.BytesSent += int64(length)
@@ -330,7 +392,14 @@ func (s *Subflow) paceOut(seg *segment) {
 		s.transmit(seg)
 		return
 	}
-	s.eng.At(at, func() { s.transmit(seg) })
+	s.eng.AtCall(at, transmitPaced, seg)
+}
+
+// transmitPaced dispatches a delayed paced transmission without a
+// closure: the pooled segment itself is the event argument.
+func transmitPaced(arg any) {
+	seg := arg.(*segment)
+	seg.owner.transmit(seg)
 }
 
 // transmit pushes one segment onto the wire and (re)arms the RTO.
@@ -360,22 +429,23 @@ func (s *Subflow) transmit(seg *segment) {
 }
 
 func (s *Subflow) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
 	if s.inflightSegs == 0 {
+		s.rtoTimer = sim.Timer{}
 		return
 	}
 	d := s.rtt.RTO() * s.rtoBackoff
-	s.rtoTimer = s.eng.Schedule(d, s.onRTO)
+	s.rtoTimer = s.eng.ScheduleCall(d, fireRTO, s)
 }
+
+// fireRTO dispatches the retransmission timeout without a closure.
+func fireRTO(arg any) { arg.(*Subflow).onRTO() }
 
 // onRTO handles a retransmission timeout: multiplicative decrease to a
 // one-segment window, exponential backoff, and go-back-N style recovery
 // driven by the cumulative ACK.
 func (s *Subflow) onRTO() {
-	s.rtoTimer = nil
+	s.rtoTimer = sim.Timer{}
 	if s.inflightSegs == 0 {
 		return
 	}
@@ -393,7 +463,7 @@ func (s *Subflow) onRTO() {
 	if s.rtoBackoff < 64 {
 		s.rtoBackoff *= 2
 	}
-	if seg, ok := s.inflight[s.sndUna]; ok {
+	if seg := s.unaSegment(); seg != nil {
 		seg.rtx++
 		s.stats.Retransmits++
 		s.transmit(seg)
@@ -424,14 +494,19 @@ func (s *Subflow) OnAck(p netsim.Packet) {
 }
 
 func (s *Subflow) processNewAck(p netsim.Packet) {
+	// Segments are contiguous in sequence space, so the fully-acked set
+	// is exactly a prefix of the seq-ordered ring.
 	acked := 0
-	for seq, seg := range s.inflight {
-		if seq+int64(seg.length) <= p.AckSeq {
-			delete(s.inflight, seq)
-			s.inflightSegs--
-			s.inflightBytes -= seg.length
-			acked++
+	for {
+		seg := s.frontSeg()
+		if seg == nil || seg.seq+int64(seg.length) > p.AckSeq {
+			break
 		}
+		s.infHead++
+		s.inflightSegs--
+		s.inflightBytes -= seg.length
+		s.freeSeg(seg)
+		acked++
 	}
 	s.sndUna = p.AckSeq
 	s.dupAcks = 0
@@ -468,7 +543,7 @@ func (s *Subflow) processNewAck(p netsim.Packet) {
 		// NewReno partial ACK: the cumulative ACK advanced but stopped
 		// short of the recovery point, exposing the next hole —
 		// retransmit it immediately rather than waiting for an RTO.
-		if seg, ok := s.inflight[s.sndUna]; ok {
+		if seg := s.unaSegment(); seg != nil {
 			seg.rtx++
 			s.stats.Retransmits++
 			s.transmit(seg)
@@ -513,8 +588,8 @@ func (s *Subflow) maybeExitSlowStart() {
 
 // fastRetransmit reacts to three duplicate ACKs.
 func (s *Subflow) fastRetransmit() {
-	seg, ok := s.inflight[s.sndUna]
-	if !ok {
+	seg := s.unaSegment()
+	if seg == nil {
 		return
 	}
 	s.ctrl.OnLoss(s)
@@ -542,10 +617,8 @@ func (s *Subflow) Penalize() {
 // Close detaches the subflow from its congestion controller and stops the
 // retransmission timer.
 func (s *Subflow) Close() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
+	s.rtoTimer = sim.Timer{}
 	s.ctrl.Unregister(s)
 }
 
