@@ -1,0 +1,145 @@
+// Command benchguard turns microbenchmark output into a CI gate: it
+// reads `go test -bench` output on stdin, looks up each guarded
+// benchmark's pinned ceiling in the committed BENCH_pr4.json, and exits
+// non-zero when ns/op or allocs/op regresses past the slack factor.
+//
+// Usage (as the bench-smoke CI job does):
+//
+//	go test -run xxx -bench 'EngineScheduleRun$|LinkSend$|SubflowTransfer$' \
+//	    -benchmem ./internal/sim ./internal/netsim ./internal/tcp \
+//	  | benchguard -baseline BENCH_pr4.json
+//
+// Every benchmark named in the baseline's guard_ceilings section must
+// appear in the input — a benchmark that silently stops running would
+// otherwise un-guard itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ceiling is one guarded benchmark's pinned budget.
+type ceiling struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baseline is the slice of BENCH_pr4.json this tool reads; the rest of
+// the file (narrative before/after numbers) is for humans.
+type baseline struct {
+	GuardCeilings map[string]ceiling `json:"guard_ceilings"`
+}
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// parseBenchLine parses a `go test -bench` result line, returning the
+// benchmark name (GOMAXPROCS suffix stripped) and its measurements.
+func parseBenchLine(line string) (string, measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", measurement{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var m measurement
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.nsPerOp = v
+			ok = true
+		case "allocs/op":
+			m.allocsPerOp = v
+			m.hasAllocs = true
+		}
+	}
+	return name, m, ok
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_pr4.json", "baseline JSON with a guard_ceilings section")
+	slack := flag.Float64("slack", 1.25, "allowed regression factor over the pinned ceilings")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(base.GuardCeilings) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s has no guard_ceilings — nothing to enforce\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	measured := make(map[string]measurement)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		if name, m, ok := parseBenchLine(line); ok {
+			measured[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, c := range base.GuardCeilings {
+		m, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: benchmark did not run (guarded benchmarks must appear in the input)\n", name)
+			failed = true
+			continue
+		}
+		if limit := c.NsPerOp * *slack; m.nsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.1f ns/op exceeds ceiling %.1f ns/op (pinned %.1f × slack %.2f)\n",
+				name, m.nsPerOp, limit, c.NsPerOp, *slack)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchguard: ok   %s: %.1f ns/op <= %.1f\n", name, m.nsPerOp, limit)
+		}
+		if !m.hasAllocs {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: no allocs/op in input (run with -benchmem)\n", name)
+			failed = true
+			continue
+		}
+		// A zero-alloc ceiling is exact — the whole point of the
+		// allocation-free core; non-zero ceilings get the same slack.
+		limit := c.AllocsPerOp * *slack
+		if m.allocsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.1f allocs/op exceeds ceiling %.1f\n", name, m.allocsPerOp, limit)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchguard: ok   %s: %.1f allocs/op <= %.1f\n", name, m.allocsPerOp, limit)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

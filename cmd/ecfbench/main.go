@@ -10,6 +10,8 @@
 //	ecfbench -exp all -cache-dir cache -shard 0/2 # simulate half the cells
 //	ecfbench -exp all -cache-dir cache -merge     # assemble purely from cache
 //	ecfbench -cache-dir cache -cache-stats        # audit what occupies the store
+//	ecfbench -cache-dir cache -cache-prune -dry-run  # preview stale-group cleanup
+//	ecfbench -cache-dir cache -cache-prune        # delete groups no current run reads
 //	ecfbench -exp fig9 -cpuprofile cpu.pprof      # profile a run (also -memprofile)
 //
 // Each experiment prints the same rows/series the paper reports (see
@@ -71,6 +73,18 @@ var catalog = []experiment{
 	{"fig21", "web browsing OOO-delay CCDFs", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure21(sc) }},
 	{"fig22", "wild streaming: RTTs and throughput", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure22(sc) }},
 	{"fig23", "wild web: completion and OOO CCDFs", func(sc experiments.Scale) fmt.Stringer { return experiments.Figure23(sc) }},
+}
+
+// parseScale maps the -scale flag to a profile.
+func parseScale(name string) (experiments.Scale, bool) {
+	switch name {
+	case "full":
+		return experiments.Full, true
+	case "quick":
+		return experiments.Quick, true
+	default:
+		return experiments.Scale{}, false
+	}
 }
 
 // fail prints one clean message and exits 1 — operational failures
@@ -147,6 +161,51 @@ func runExperiment(e experiment, sc experiments.Scale) (out fmt.Stringer, err er
 		}
 	}()
 	return e.run(sc), nil
+}
+
+// cachePrune implements -cache-prune: enumerate the active matrix (the
+// record groups a full catalog run at the given scale would read) by
+// driving every driver through an enumerating session — no simulation,
+// no store reads — then delete the store's other groups. The audit half
+// of this lifecycle is -cache-stats.
+func cachePrune(cacheDir string, sc experiments.Scale, dryRun bool) {
+	open := results.Open
+	if dryRun {
+		open = results.OpenRead // a preview must work on read-only stores
+	}
+	store, err := open(cacheDir)
+	if err != nil {
+		fail("%v", err)
+	}
+	keep := make(map[results.Group]bool)
+	for _, g := range experiments.EnumerateActive(sc) {
+		keep[g] = true
+	}
+	rep, err := store.Prune(func(g results.Group) bool { return keep[g] }, dryRun)
+	if err != nil {
+		fail("pruning %s: %v", cacheDir, err)
+	}
+	verb := "deleted"
+	if dryRun {
+		verb = "would delete"
+	}
+	if len(rep.Deleted) == 0 {
+		fmt.Printf("cache dir %s: nothing to prune (%d records in the active matrix)\n", cacheDir, rep.KeptRecords)
+		return
+	}
+	fmt.Printf("cache dir %s: %s %d records (%d bytes) outside the active matrix:\n",
+		cacheDir, verb, rep.DeletedRecords(), rep.DeletedBytes())
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "EXPERIMENT\tSCALE\tSCHEMA\tRECORDS\tBYTES")
+	for _, line := range rep.Deleted {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n", line.Experiment, line.Scale, line.Schema, line.Records, line.Bytes)
+	}
+	w.Flush()
+	fmt.Printf("kept: %d records, %d bytes", rep.KeptRecords, rep.KeptBytes)
+	if rep.Unreadable > 0 {
+		fmt.Printf(", %d unreadable files left in place", rep.Unreadable)
+	}
+	fmt.Println()
 }
 
 // cacheStats renders the -cache-stats audit: what occupies the store,
@@ -230,6 +289,8 @@ func main() {
 		merge    = flag.Bool("merge", false, "assemble the report purely from cached records, simulating nothing (requires -cache-dir)")
 		noCache  = flag.Bool("no-cache", false, "ignore -cache-dir: compute every cell, neither reading nor writing the store")
 		stats    = flag.Bool("cache-stats", false, "audit -cache-dir: list experiments/scales/schema versions occupying the store, then exit")
+		prune    = flag.Bool("cache-prune", false, "delete record groups in -cache-dir that a full catalog run at the given -scale would no longer read, then exit")
+		dryRun   = flag.Bool("dry-run", false, "with -cache-prune: report what would be deleted without removing anything")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -239,10 +300,27 @@ func main() {
 		if *cacheDir == "" {
 			failUsage("-cache-stats requires -cache-dir (it audits the store)")
 		}
-		if *expName != "" || *shardStr != "" || *merge || *noCache {
-			failUsage("-cache-stats runs alone (no -exp/-shard/-merge/-no-cache)")
+		if *expName != "" || *shardStr != "" || *merge || *noCache || *prune {
+			failUsage("-cache-stats runs alone (no -exp/-shard/-merge/-no-cache/-cache-prune)")
 		}
 		cacheStats(*cacheDir)
+		return
+	}
+	if *dryRun && !*prune {
+		failUsage("-dry-run only applies to -cache-prune")
+	}
+	if *prune {
+		if *cacheDir == "" {
+			failUsage("-cache-prune requires -cache-dir (it prunes the store)")
+		}
+		if *expName != "" || *shardStr != "" || *merge || *noCache {
+			failUsage("-cache-prune runs alone (no -exp/-shard/-merge/-no-cache); the active matrix is the full catalog at the given -scale")
+		}
+		sc, ok := parseScale(*scale)
+		if !ok {
+			failUsage("unknown scale %q (full|quick)", *scale)
+		}
+		cachePrune(*cacheDir, sc, *dryRun)
 		return
 	}
 	stopProfiles := profiling(*cpuProf, *memProf)
@@ -262,13 +340,8 @@ func main() {
 		return
 	}
 
-	var sc experiments.Scale
-	switch *scale {
-	case "full":
-		sc = experiments.Full
-	case "quick":
-		sc = experiments.Quick
-	default:
+	sc, ok := parseScale(*scale)
+	if !ok {
 		failUsage("unknown scale %q (full|quick)", *scale)
 	}
 	sc.Workers = *jobs

@@ -81,9 +81,14 @@ type Network struct {
 	nextID int
 }
 
-// NewNetwork builds the topology on a fresh simulation engine.
+// NewNetwork builds the topology on a simulation engine acquired from
+// the engine pool: the arena and event heap of a previously released
+// network are reused, so a sweep of independent simulation cells grows
+// them once per worker instead of once per cell. Call Close when the
+// simulation is done to return the engine; a network that is never
+// closed simply keeps its engine out of the pool.
 func NewNetwork(specs []PathSpec) *Network {
-	eng := sim.New()
+	eng := sim.Acquire()
 	n := &Network{eng: eng}
 	for i, s := range specs {
 		q := s.QueueBytes
@@ -110,6 +115,18 @@ func NewNetwork(specs []PathSpec) *Network {
 
 // Engine exposes the simulation engine (for timers and custom events).
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Close releases the network's engine back to the simulation pool,
+// cancelling everything still scheduled. The network, its connections
+// and any Timer handles obtained from its engine must not be used
+// afterwards; results must be collected before closing.
+func (n *Network) Close() {
+	if n.eng == nil {
+		return
+	}
+	sim.Release(n.eng)
+	n.eng = nil
+}
 
 // Paths returns the underlying paths in spec order.
 func (n *Network) Paths() []*netsim.Path {

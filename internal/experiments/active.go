@@ -1,0 +1,52 @@
+package experiments
+
+import "repro/internal/results"
+
+// allDrivers runs every experiment driver in the catalog, in catalog
+// order. It exists for EnumerateActive: keep it in sync with the
+// ecfbench catalog (the prune-coverage test in this package catches a
+// driver whose records are not enumerated).
+var allDrivers = []func(Scale){
+	func(Scale) { Table1() },
+	func(sc Scale) { Table2(sc) },
+	func(sc Scale) { Table3(sc) },
+	func(sc Scale) { Table4(sc) },
+	func(sc Scale) { Figure1(sc) },
+	func(sc Scale) { Figure2(sc) },
+	func(sc Scale) { Figure3(sc) },
+	func(sc Scale) { Figure5(sc) },
+	func(sc Scale) { Figure6(sc) },
+	func(sc Scale) { Figure7(sc) },
+	func(sc Scale) { Figure9(sc) },
+	func(sc Scale) { Figure10(sc) },
+	func(sc Scale) { Figure11(sc) },
+	func(sc Scale) { Figure12(sc) },
+	func(sc Scale) { Figure13(sc) },
+	func(sc Scale) { Figure14(sc) },
+	func(sc Scale) { Figure15(sc) },
+	func(sc Scale) { Figure16(sc) },
+	func(sc Scale) { Figure17(sc) },
+	func(sc Scale) { Figure18(sc) },
+	func(sc Scale) { Figure19(sc) },
+	func(sc Scale) { Figure20(sc) },
+	func(sc Scale) { Figure21(sc) },
+	func(sc Scale) { Figure22(sc) },
+	func(sc Scale) { Figure23(sc) },
+}
+
+// EnumerateActive returns the record groups — (experiment, scale,
+// schema) triples — that a full catalog run at the given scale reads
+// and writes, without simulating anything: every driver runs under an
+// enumerating session, which notes each cell's spec and skips the cell.
+// Because the specs come from the same code paths a real run uses, the
+// result cannot drift from the drivers; it is the active matrix that
+// ecfbench -cache-prune keeps.
+func EnumerateActive(sc Scale) []results.Group {
+	ses := &results.Session{Enumerate: true}
+	sc.Results = ses
+	sc.Workers = 1 // enumerate jobs are no-ops; skip the pool fan-out
+	for _, run := range allDrivers {
+		run(sc)
+	}
+	return ses.ActiveGroups()
+}

@@ -168,6 +168,7 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 		specs = core.DefaultPaths(cfg.WifiMbps, cfg.LteMbps)
 	}
 	net := core.NewNetwork(specs)
+	defer net.Close()
 	eng := net.Engine()
 
 	connCfg := mptcp.DefaultConfig(0)

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/results"
+)
+
+// TestEnumerateActiveCoversColdStoreGroups is the anti-drift guard for
+// -cache-prune: every group a real (cold, cached) run writes must be in
+// the enumerated active matrix for the same scale, or prune would
+// delete live records. A couple of cheap drivers stand in for the
+// catalog — the enumerated set itself is produced by running all of it.
+func TestEnumerateActiveCoversColdStoreGroups(t *testing.T) {
+	sc := Scale{
+		VideoSec:        5,
+		GridVideoSec:    5,
+		RandomDurSec:    20,
+		RandomScenarios: 1,
+		WebRuns:         1,
+		WildWebRuns:     1,
+	}
+
+	dir := t.TempDir()
+	cold := sc
+	cold.Results = cacheSession(t, dir)
+	Figure16(cold) // random-bandwidth cells (randomKey, schema'd)
+	Figure1(cold)  // single streaming cell (videoKey)
+	if _, c := cold.Results.Stats(); c == 0 {
+		t.Fatal("cold pass computed nothing; test is vacuous")
+	}
+
+	active := make(map[results.Group]bool)
+	for _, g := range EnumerateActive(sc) {
+		active[g] = true
+	}
+	if len(active) == 0 {
+		t.Fatal("EnumerateActive returned nothing")
+	}
+
+	store, err := results.OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := store.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Records == 0 {
+		t.Fatal("cold store is empty; test is vacuous")
+	}
+	for _, line := range audit.Lines {
+		g := results.Group{Experiment: line.Experiment, Scale: line.Scale, Schema: line.Schema}
+		if !active[g] {
+			t.Errorf("group %+v written by a real run is missing from the active matrix (prune would delete it)", g)
+		}
+	}
+
+	// And the matrix actually discriminates: a stale group must not be
+	// covered.
+	if active[results.Group{Experiment: "fig16", Scale: "rd999,rs9", Schema: 2}] {
+		t.Error("active matrix covers a scale that was never enumerated")
+	}
+}

@@ -83,6 +83,7 @@ func measureLoadedRTT(name string, mbps float64, baseRTT time.Duration) time.Dur
 		{Name: name, RateMbps: mbps, BaseRTT: baseRTT},
 		{Name: "unused", RateMbps: 0.01, BaseRTT: time.Second},
 	})
+	defer net.Close()
 	conn := net.NewConn(core.ConnOptions{Scheduler: "wifi-only"})
 	// Enough bytes to keep the path busy for ~20 s.
 	bytes := int64(mbps * 1e6 / 8 * 20)

@@ -30,6 +30,7 @@ func wgetOnce(scheduler string, wifiMbps, lteMbps float64, bytes int64, seed uin
 		{Name: "wifi", RateMbps: wifiMbps, BaseRTT: core.WiFiBaseRTT, LossRate: webLossRate, Seed: seed * 17},
 		{Name: "lte", RateMbps: lteMbps, BaseRTT: core.LTEBaseRTT, LossRate: webLossRate, Seed: seed*31 + 7},
 	})
+	defer net.Close()
 	trace.InstallRTTJitter(net, 0, core.WiFiBaseRTT, 0.3, 100*time.Millisecond, seed*101+1, time.Minute)
 	trace.InstallRTTJitter(net, 1, core.LTEBaseRTT, 0.2, 100*time.Millisecond, seed*211+5, time.Minute)
 	conn := net.NewConn(core.ConnOptions{Scheduler: scheduler})
@@ -228,6 +229,7 @@ func fetchCNNPage(scheduler string, wifiMbps, lteMbps float64, seed uint64) *Pag
 		{Name: "wifi", RateMbps: wifiMbps, BaseRTT: core.WiFiBaseRTT, LossRate: webLossRate, Seed: seed * 13},
 		{Name: "lte", RateMbps: lteMbps, BaseRTT: core.LTEBaseRTT, LossRate: webLossRate, Seed: seed*29 + 3},
 	})
+	defer net.Close()
 	conns := make([]*mptcp.Conn, 6)
 	for i := range conns {
 		conns[i] = net.NewConn(core.ConnOptions{Scheduler: scheduler})

@@ -159,6 +159,7 @@ func Figure23(sc Scale) *Figure23Result {
 // wildPage fetches the page once over one wild run's topology.
 func wildPage(run trace.WildRun, scheduler string) *PageOutcome {
 	net := core.NewNetwork(run.Paths())
+	defer net.Close()
 	trace.InstallRTTJitter(net, 0, run.WifiRTT, 0.5, 500*time.Millisecond, run.Seed, 10*time.Minute)
 	trace.InstallRTTJitter(net, 1, run.LteRTT, 0.15, 500*time.Millisecond, run.Seed+99, 10*time.Minute)
 	conns := make([]*mptcp.Conn, 6)

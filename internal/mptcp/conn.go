@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 )
@@ -80,7 +81,8 @@ type segRef struct {
 	length int
 }
 
-// dataSeg is one scheduled-but-unacked data-level segment.
+// dataSeg is one scheduled-but-unacked data-level segment, stored by
+// value in the connection's inflight ring.
 type dataSeg struct {
 	dsn        int64
 	length     int
@@ -101,9 +103,11 @@ type Transfer struct {
 	StartedAt sim.Time
 	// CompletedAt is when the last byte was delivered in order.
 	CompletedAt sim.Time
-	// LastArrival records, per subflow ID, the arrival time of the last
-	// data packet of this transfer carried by that subflow (Figure 5).
-	LastArrival map[int]sim.Time
+	// LastArrival records, indexed by subflow ID, the arrival time of
+	// the last data packet of this transfer carried by that subflow
+	// (Figure 5). Entries are negative for subflows that carried none of
+	// this transfer; the slice grows on demand.
+	LastArrival []sim.Time
 
 	done func(*Transfer)
 	// conn backs the closure-free request-delay event (set only for
@@ -118,8 +122,8 @@ func (t *Transfer) Duration() time.Duration { return t.CompletedAt - t.Requested
 // data arrivals on the two given subflows, or (0, false) if either
 // subflow carried none of this transfer.
 func (t *Transfer) LastPacketTimeDiff(sfA, sfB int) (time.Duration, bool) {
-	a, okA := t.LastArrival[sfA]
-	b, okB := t.LastArrival[sfB]
+	a, okA := t.lastArrival(sfA)
+	b, okB := t.lastArrival(sfB)
 	if !okA || !okB {
 		return 0, false
 	}
@@ -127,6 +131,15 @@ func (t *Transfer) LastPacketTimeDiff(sfA, sfB int) (time.Duration, bool) {
 		return a - b, true
 	}
 	return b - a, true
+}
+
+// lastArrival reads one subflow's entry, reporting false when the
+// subflow carried none of this transfer.
+func (t *Transfer) lastArrival(sf int) (sim.Time, bool) {
+	if sf < 0 || sf >= len(t.LastArrival) || t.LastArrival[sf] < 0 {
+		return 0, false
+	}
+	return t.LastArrival[sf], true
 }
 
 // Conn is an MPTCP connection: several TCP subflows bound to a shared
@@ -146,15 +159,22 @@ type Conn struct {
 	unsentHead  int
 	unsentBytes int64
 
-	inflightQ     []*dataSeg
-	inflightHead  int
-	inflightBytes int64
-	dataAcked     int64
-	peerWindow    int64
+	// inflightQ is a DSN-ordered ring of scheduled-but-unacked data
+	// segments stored by value ([infHead, infTail) live): cumulative
+	// data ACKs pop a prefix, opportunistic retransmission reads and
+	// marks the head in place. No per-segment heap allocation.
+	inflightQ        ring.Ring[dataSeg]
+	infHead, infTail uint64
+	inflightBytes    int64
+	dataAcked        int64
+	peerWindow       int64
 
 	transfers []*Transfer // active, DSN-ordered
 
-	lastPenalty map[*tcp.Subflow]sim.Time
+	// lastPenalty is indexed by subflow ID (grown in AddSubflow); the
+	// zero value means "never penalized", which the rate-limit check
+	// treats as long ago.
+	lastPenalty []sim.Time
 
 	// stats
 	reinjections int64
@@ -172,12 +192,11 @@ func NewConn(eng *sim.Engine, cfg Config, ctrl cc.Controller) *Conn {
 		ctrl = cc.NewLIA()
 	}
 	c := &Conn{
-		eng:         eng,
-		cfg:         cfg,
-		ctrl:        ctrl,
-		recv:        NewReceiver(eng, cfg.RcvBuf),
-		peerWindow:  cfg.RcvBuf,
-		lastPenalty: make(map[*tcp.Subflow]sim.Time),
+		eng:        eng,
+		cfg:        cfg,
+		ctrl:       ctrl,
+		recv:       NewReceiver(eng, cfg.RcvBuf),
+		peerWindow: cfg.RcvBuf,
 	}
 	c.recv.ArrivalHook = c.attributeArrival
 	return c
@@ -227,6 +246,7 @@ func (c *Conn) AddSubflow(name string, path *netsim.Path, fwd, rev *netsim.Demux
 	fwd.Register(c.cfg.ID, id, rx.OnPacket)
 	rev.Register(c.cfg.ID, id, sf.OnAck)
 	c.subflows = append(c.subflows, sf)
+	c.lastPenalty = append(c.lastPenalty, 0)
 	return sf
 }
 
@@ -297,7 +317,6 @@ func (c *Conn) Write(size int64, done func(*Transfer)) *Transfer {
 		EndDSN:      c.writeDSN + size,
 		RequestedAt: now,
 		StartedAt:   now,
-		LastArrival: make(map[int]sim.Time),
 		done:        done,
 	}
 	c.admitTransfer(tr)
@@ -318,7 +337,6 @@ func (c *Conn) Request(size int64, done func(*Transfer)) *Transfer {
 	tr := &Transfer{
 		Bytes:       size,
 		RequestedAt: now,
-		LastArrival: make(map[int]sim.Time),
 		done:        done,
 		conn:        c,
 	}
@@ -387,18 +405,13 @@ func (c *Conn) SubflowAcked(sf *tcp.Subflow, dataAck, window int64) {
 	c.peerWindow = window
 	if dataAck > c.dataAcked {
 		c.dataAcked = dataAck
-		for c.inflightHead < len(c.inflightQ) {
-			seg := c.inflightQ[c.inflightHead]
+		for c.infHead < c.infTail {
+			seg := c.inflightQ.At(c.infHead)
 			if seg.dsn+int64(seg.length) > dataAck {
 				break
 			}
-			c.inflightQ[c.inflightHead] = nil
-			c.inflightHead++
+			c.infHead++
 			c.inflightBytes -= int64(seg.length)
-		}
-		if c.inflightHead > 0 && c.inflightHead == len(c.inflightQ) {
-			c.inflightQ = c.inflightQ[:0]
-			c.inflightHead = 0
 		}
 	}
 	c.trySend()
@@ -406,9 +419,12 @@ func (c *Conn) SubflowAcked(sf *tcp.Subflow, dataAck, window int64) {
 
 // attributeArrival is called by the receiver wrapper to credit a data
 // packet to its transfer for last-packet bookkeeping.
-func (c *Conn) attributeArrival(p netsim.Packet, now sim.Time) {
+func (c *Conn) attributeArrival(p *netsim.Packet, now sim.Time) {
 	for _, tr := range c.transfers {
 		if p.DSN >= tr.StartDSN && p.DSN < tr.EndDSN {
+			for len(tr.LastArrival) <= p.SubflowID {
+				tr.LastArrival = append(tr.LastArrival, noArrival)
+			}
 			tr.LastArrival[p.SubflowID] = now
 			return
 		}
@@ -444,7 +460,12 @@ func (c *Conn) trySend() {
 			c.unsent = c.unsent[:0]
 			c.unsentHead = 0
 		}
-		c.inflightQ = append(c.inflightQ, &dataSeg{dsn: seg.dsn, length: seg.length, owner: sf})
+		f := c.inflightQ.PushRef(c.infHead, c.infTail)
+		c.infTail++
+		f.dsn = seg.dsn
+		f.length = seg.length
+		f.owner = sf
+		f.reinjected = false
 		c.inflightBytes += int64(seg.length)
 		sf.SendSegment(seg.dsn, seg.length)
 		if dup, ok := c.sched.(DuplicatingScheduler); ok {
@@ -461,10 +482,10 @@ func (c *Conn) trySend() {
 // maybeOpportunisticRtx reinjects the window-blocking segment onto a
 // faster available subflow and penalizes the blocker (Raiciu NSDI'12).
 func (c *Conn) maybeOpportunisticRtx() {
-	if !c.cfg.OpportunisticRtx || c.inflightHead >= len(c.inflightQ) {
+	if !c.cfg.OpportunisticRtx || c.infHead == c.infTail {
 		return
 	}
-	head := c.inflightQ[c.inflightHead]
+	head := c.inflightQ.At(c.infHead)
 	if head.reinjected || head.owner == nil {
 		return
 	}
@@ -488,8 +509,8 @@ func (c *Conn) maybeOpportunisticRtx() {
 	best.SendSegment(head.dsn, head.length)
 	if c.cfg.Penalization {
 		now := c.eng.Now()
-		if now-c.lastPenalty[head.owner] >= head.owner.Srtt() {
-			c.lastPenalty[head.owner] = now
+		if id := head.owner.ID(); now-c.lastPenalty[id] >= head.owner.Srtt() {
+			c.lastPenalty[id] = now
 			c.penalties++
 			head.owner.Penalize()
 		}

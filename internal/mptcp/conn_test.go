@@ -315,14 +315,14 @@ func TestReceiverOnDataOrdering(t *testing.T) {
 	eng := sim.New()
 	r := NewReceiver(eng, 1<<20)
 	// DSN 1400 first: buffered, window shrinks.
-	ack, win := r.OnData(netsim.Packet{Kind: netsim.Data, DSN: 1400, PayloadLen: 1400, SubflowID: 1})
+	ack, win := r.OnData(&netsim.Packet{Kind: netsim.Data, DSN: 1400, PayloadLen: 1400, SubflowID: 1})
 	if ack != 0 {
 		t.Fatalf("dataAck = %d, want 0", ack)
 	}
 	if win != (1<<20)-1400 {
 		t.Fatalf("window = %d, want rcvbuf-1400", win)
 	}
-	ack, win = r.OnData(netsim.Packet{Kind: netsim.Data, DSN: 0, PayloadLen: 1400, SubflowID: 0})
+	ack, win = r.OnData(&netsim.Packet{Kind: netsim.Data, DSN: 0, PayloadLen: 1400, SubflowID: 0})
 	if ack != 2800 {
 		t.Fatalf("dataAck = %d after fill, want 2800", ack)
 	}
@@ -332,7 +332,7 @@ func TestReceiverOnDataOrdering(t *testing.T) {
 	if r.DuplicateArrivals() != 0 {
 		t.Fatal("no duplicates expected")
 	}
-	r.OnData(netsim.Packet{Kind: netsim.Data, DSN: 0, PayloadLen: 1400, SubflowID: 0})
+	r.OnData(&netsim.Packet{Kind: netsim.Data, DSN: 0, PayloadLen: 1400, SubflowID: 0})
 	if r.DuplicateArrivals() != 1 {
 		t.Fatal("stale DSN should count as duplicate")
 	}

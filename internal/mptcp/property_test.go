@@ -47,7 +47,7 @@ func TestReceiverDeliversExactlyOnceUnderAnyArrivalOrder(t *testing.T) {
 		for _, s := range arrivals {
 			at += time.Millisecond
 			eng.RunUntil(at)
-			r.OnData(netsim.Packet{Kind: netsim.Data, DSN: s.dsn, PayloadLen: s.length, SubflowID: rng.Intn(2)})
+			r.OnData(&netsim.Packet{Kind: netsim.Data, DSN: s.dsn, PayloadLen: s.length, SubflowID: rng.Intn(2)})
 		}
 		if r.Expected() != dsn {
 			return false

@@ -5,14 +5,9 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
-
-// rxSeg is one buffered (out-of-order) data segment at the receiver.
-type rxSeg struct {
-	length  int
-	arrival sim.Time
-}
 
 // dsnWaiter fires fn once the in-order delivery point reaches dsn.
 type dsnWaiter struct {
@@ -29,24 +24,35 @@ type Receiver struct {
 	eng    *sim.Engine
 	rcvBuf int64
 
-	expected      int64
-	buffered      map[int64]rxSeg
+	expected int64
+	// buffered holds the out-of-order segments as a DSN-ordered ring
+	// sliding with the in-order delivery point; the value is the
+	// segment's arrival time (for the OOO-delay telemetry). The in-order
+	// common case never touches it.
+	buffered      ring.Reorder[sim.Time]
 	bufferedBytes int64
 
 	waiters []dsnWaiter
 
 	// ArrivalHook, when non-nil, observes every arriving data packet
 	// before reassembly (the connection uses it for per-transfer
-	// last-packet accounting).
-	ArrivalHook func(p netsim.Packet, now sim.Time)
+	// last-packet accounting). The packet pointer is only valid for the
+	// duration of the call.
+	ArrivalHook func(p *netsim.Packet, now sim.Time)
 
-	// Telemetry.
+	// Telemetry. The per-subflow series are dense slices indexed by
+	// subflow ID — IDs are small sequential integers assigned by the
+	// connection — grown on first sight of an ID.
 	oooDelays        []time.Duration
-	perSubflowBytes  map[int]int64
-	lastArrival      map[int]sim.Time
+	perSubflowBytes  []int64
+	lastArrival      []sim.Time // noArrival until the first data packet
 	deliveredBytes   int64
 	duplicateArrival int64
 }
+
+// noArrival marks a subflow that has not delivered any data yet in
+// LastArrival (arrival times are always >= 0).
+const noArrival = sim.Time(-1)
 
 // NewReceiver builds a receiver with the given receive-buffer size in
 // bytes (the base of the advertised window).
@@ -55,11 +61,8 @@ func NewReceiver(eng *sim.Engine, rcvBuf int64) *Receiver {
 		rcvBuf = 4 << 20
 	}
 	return &Receiver{
-		eng:             eng,
-		rcvBuf:          rcvBuf,
-		buffered:        make(map[int64]rxSeg),
-		perSubflowBytes: make(map[int]int64),
-		lastArrival:     make(map[int]sim.Time),
+		eng:    eng,
+		rcvBuf: rcvBuf,
 	}
 }
 
@@ -87,11 +90,14 @@ func (r *Receiver) OOODelays() []time.Duration { return r.oooDelays }
 // phases).
 func (r *Receiver) ResetOOODelays() { r.oooDelays = nil }
 
-// SubflowBytes returns first-arrival payload bytes per subflow ID.
-func (r *Receiver) SubflowBytes() map[int]int64 { return r.perSubflowBytes }
+// SubflowBytes returns first-arrival payload bytes indexed by subflow
+// ID (zero for subflows that carried nothing).
+func (r *Receiver) SubflowBytes() []int64 { return r.perSubflowBytes }
 
-// LastArrival returns the most recent data arrival time per subflow ID.
-func (r *Receiver) LastArrival() map[int]sim.Time { return r.lastArrival }
+// LastArrival returns the most recent data arrival time indexed by
+// subflow ID; entries are negative for subflows that have not delivered
+// any data.
+func (r *Receiver) LastArrival() []sim.Time { return r.lastArrival }
 
 // DuplicateArrivals returns the count of redundant DSN deliveries
 // (subflow retransmissions and reinjections that lost the race).
@@ -114,39 +120,55 @@ func (r *Receiver) Snapshot() (dataAck, window int64) {
 	return r.expected, r.Window()
 }
 
+// touchSubflow grows the per-subflow telemetry slices to cover id.
+func (r *Receiver) touchSubflow(id int) {
+	for len(r.perSubflowBytes) <= id {
+		r.perSubflowBytes = append(r.perSubflowBytes, 0)
+		r.lastArrival = append(r.lastArrival, noArrival)
+	}
+}
+
 // OnData implements tcp.MetaSink: it folds one arriving data packet into
 // the reorder buffer and returns the data-level cumulative ACK and the
 // advertised window for the outgoing subflow ACK.
-func (r *Receiver) OnData(p netsim.Packet) (dataAck, window int64) {
+func (r *Receiver) OnData(p *netsim.Packet) (dataAck, window int64) {
 	now := r.eng.Now()
+	r.touchSubflow(p.SubflowID)
 	r.lastArrival[p.SubflowID] = now
 	if r.ArrivalHook != nil {
 		r.ArrivalHook(p, now)
 	}
 
-	if p.DSN >= r.expected {
-		if _, dup := r.buffered[p.DSN]; dup {
-			r.duplicateArrival++
-		} else {
-			r.buffered[p.DSN] = rxSeg{length: p.PayloadLen, arrival: now}
+	switch {
+	case p.DSN == r.expected:
+		// In-order fast path: the buffered block never contains the
+		// expected DSN (the drain below always consumes it), so this is
+		// never a duplicate. Deliver directly — a zero OOO-delay
+		// sample — then drain whatever became contiguous.
+		length := int64(p.PayloadLen)
+		r.perSubflowBytes[p.SubflowID] += length
+		r.expected += length
+		r.deliveredBytes += length
+		r.oooDelays = append(r.oooDelays, 0)
+		for {
+			l, arrived, ok := r.buffered.PopAt(r.expected)
+			if !ok {
+				break
+			}
+			r.bufferedBytes -= int64(l)
+			r.expected += int64(l)
+			r.deliveredBytes += int64(l)
+			r.oooDelays = append(r.oooDelays, now-arrived)
+		}
+	case p.DSN > r.expected:
+		if r.buffered.Insert(p.DSN, p.PayloadLen, now) {
 			r.bufferedBytes += int64(p.PayloadLen)
 			r.perSubflowBytes[p.SubflowID] += int64(p.PayloadLen)
+		} else {
+			r.duplicateArrival++
 		}
-	} else {
+	default:
 		r.duplicateArrival++
-	}
-
-	// Deliver everything now contiguous.
-	for {
-		seg, ok := r.buffered[r.expected]
-		if !ok {
-			break
-		}
-		delete(r.buffered, r.expected)
-		r.bufferedBytes -= int64(seg.length)
-		r.expected += int64(seg.length)
-		r.deliveredBytes += int64(seg.length)
-		r.oooDelays = append(r.oooDelays, now-seg.arrival)
 	}
 
 	// Fire completion waiters in DSN order.

@@ -18,11 +18,11 @@ func TestLinkSteadyStateAllocs(t *testing.T) {
 		RateBps:    100e6,
 		Delay:      2 * time.Millisecond,
 		QueueBytes: 1 << 20,
-	}, func(Packet) {})
+	}, func(*Packet) {})
 	const batch = 64
 	cycle := func() {
 		for i := 0; i < batch; i++ {
-			l.Send(Packet{Kind: Data, Size: 1200})
+			l.Send(&Packet{Kind: Data, Size: 1200})
 		}
 		eng.Run()
 	}
@@ -42,11 +42,11 @@ func TestLinkLossySteadyStateAllocs(t *testing.T) {
 		QueueBytes: 1 << 20,
 		LossRate:   0.2,
 		Seed:       11,
-	}, func(Packet) {})
+	}, func(*Packet) {})
 	const batch = 64
 	cycle := func() {
 		for i := 0; i < batch; i++ {
-			l.Send(Packet{Kind: Data, Size: 1200})
+			l.Send(&Packet{Kind: Data, Size: 1200})
 		}
 		eng.Run()
 	}
@@ -66,12 +66,12 @@ func TestTokenBucketSteadyStateAllocs(t *testing.T) {
 		RateBps:    1e9,
 		Delay:      time.Millisecond,
 		QueueBytes: 1 << 20,
-	}, func(Packet) {})
+	}, func(*Packet) {})
 	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 10e6}, line)
 	const batch = 16
 	cycle := func() {
 		for i := 0; i < batch; i++ {
-			tb.Send(Packet{Kind: Data, Size: 1200})
+			tb.Send(&Packet{Kind: Data, Size: 1200})
 		}
 		eng.Run()
 	}

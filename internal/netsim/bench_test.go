@@ -20,10 +20,10 @@ func BenchmarkLinkSend(b *testing.B) {
 		QueueBytes: 1 << 20,
 	}, nil)
 	sent := 0
-	l.SetReceiver(func(p Packet) {
+	l.SetReceiver(func(p *Packet) {
 		if sent < b.N {
 			sent++
-			l.Send(Packet{Kind: Data, Size: 1200})
+			l.Send(&Packet{Kind: Data, Size: 1200})
 		}
 	})
 	prime := 64
@@ -34,7 +34,7 @@ func BenchmarkLinkSend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < prime; i++ {
 		sent++
-		l.Send(Packet{Kind: Data, Size: 1200})
+		l.Send(&Packet{Kind: Data, Size: 1200})
 	}
 	eng.Run()
 }
@@ -52,10 +52,10 @@ func BenchmarkLinkSendLossy(b *testing.B) {
 		Seed:       7,
 	}, nil)
 	sent := 0
-	l.SetReceiver(func(p Packet) {
+	l.SetReceiver(func(p *Packet) {
 		if sent < b.N {
 			sent++
-			l.Send(Packet{Kind: Data, Size: 1200})
+			l.Send(&Packet{Kind: Data, Size: 1200})
 		}
 	})
 	prime := 64
@@ -66,12 +66,12 @@ func BenchmarkLinkSendLossy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < prime; i++ {
 		sent++
-		l.Send(Packet{Kind: Data, Size: 1200})
+		l.Send(&Packet{Kind: Data, Size: 1200})
 	}
 	// Losses shrink the in-flight window; top it back up until every
 	// packet has been sent.
 	for eng.Run(); sent < b.N; eng.Run() {
 		sent++
-		l.Send(Packet{Kind: Data, Size: 1200})
+		l.Send(&Packet{Kind: Data, Size: 1200})
 	}
 }

@@ -1,44 +1,60 @@
 package netsim
 
-// FlowKey identifies one subflow of one connection on a shared link.
-type FlowKey struct {
-	ConnID    int
-	SubflowID int
-}
-
 // Demux fans packets from a shared Link out to per-subflow receivers by
 // (ConnID, SubflowID). This is what lets several MPTCP connections — the
 // six persistent browser connections of §5.5, or the four subflows of
 // §5.2.5 — contend for the same bottleneck links.
+//
+// Routing is a dense two-level table indexed by the IDs directly:
+// connection and subflow IDs are small sequential integers (the network
+// assigns them in creation order), so the per-packet route lookup is two
+// bounds checks and two loads instead of a map access hashing a
+// composite key — the demux sits on every delivered packet.
 type Demux struct {
-	routes  map[FlowKey]Receiver
+	routes  [][]Receiver // [connID][subflowID], nil = unrouted
 	unknown int64
 }
 
 // NewDemux returns an empty demultiplexer.
 func NewDemux() *Demux {
-	return &Demux{routes: make(map[FlowKey]Receiver)}
+	return &Demux{}
 }
 
 // Register installs the receiver for one flow, replacing any previous
-// registration.
+// registration. IDs must be non-negative; the table grows to cover the
+// largest registered ID.
 func (d *Demux) Register(connID, subflowID int, r Receiver) {
-	d.routes[FlowKey{connID, subflowID}] = r
+	for len(d.routes) <= connID {
+		d.routes = append(d.routes, nil)
+	}
+	row := d.routes[connID]
+	for len(row) <= subflowID {
+		row = append(row, nil)
+	}
+	row[subflowID] = r
+	d.routes[connID] = row
 }
 
 // Unregister removes a flow's route.
 func (d *Demux) Unregister(connID, subflowID int) {
-	delete(d.routes, FlowKey{connID, subflowID})
+	if connID < len(d.routes) && subflowID < len(d.routes[connID]) {
+		d.routes[connID][subflowID] = nil
+	}
 }
 
 // Unrouted returns the count of packets that arrived for unknown flows.
 func (d *Demux) Unrouted() int64 { return d.unknown }
 
 // OnPacket routes one packet; unknown flows are counted and dropped.
-func (d *Demux) OnPacket(p Packet) {
-	if r, ok := d.routes[FlowKey{p.ConnID, p.SubflowID}]; ok {
-		r(p)
-		return
+func (d *Demux) OnPacket(p *Packet) {
+	if uint(p.ConnID) < uint(len(d.routes)) {
+		row := d.routes[p.ConnID]
+		if uint(p.SubflowID) < uint(len(row)) {
+			if r := row[p.SubflowID]; r != nil {
+				r(p)
+				return
+			}
+		}
 	}
 	d.unknown++
 }

@@ -8,11 +8,11 @@ import (
 func TestDemuxRoutesByFlow(t *testing.T) {
 	d := NewDemux()
 	var gotA, gotB []Packet
-	d.Register(1, 0, func(p Packet) { gotA = append(gotA, p) })
-	d.Register(2, 1, func(p Packet) { gotB = append(gotB, p) })
-	d.OnPacket(Packet{ConnID: 1, SubflowID: 0, Seq: 1})
-	d.OnPacket(Packet{ConnID: 2, SubflowID: 1, Seq: 2})
-	d.OnPacket(Packet{ConnID: 1, SubflowID: 0, Seq: 3})
+	d.Register(1, 0, func(p *Packet) { gotA = append(gotA, *p) })
+	d.Register(2, 1, func(p *Packet) { gotB = append(gotB, *p) })
+	d.OnPacket(&Packet{ConnID: 1, SubflowID: 0, Seq: 1})
+	d.OnPacket(&Packet{ConnID: 2, SubflowID: 1, Seq: 2})
+	d.OnPacket(&Packet{ConnID: 1, SubflowID: 0, Seq: 3})
 	if len(gotA) != 2 || len(gotB) != 1 {
 		t.Fatalf("routes: A=%d B=%d, want 2/1", len(gotA), len(gotB))
 	}
@@ -23,7 +23,7 @@ func TestDemuxRoutesByFlow(t *testing.T) {
 
 func TestDemuxUnknownFlowCounted(t *testing.T) {
 	d := NewDemux()
-	d.OnPacket(Packet{ConnID: 9, SubflowID: 9})
+	d.OnPacket(&Packet{ConnID: 9, SubflowID: 9})
 	if d.Unrouted() != 1 {
 		t.Fatalf("unrouted = %d, want 1", d.Unrouted())
 	}
@@ -32,10 +32,10 @@ func TestDemuxUnknownFlowCounted(t *testing.T) {
 func TestDemuxUnregister(t *testing.T) {
 	d := NewDemux()
 	n := 0
-	d.Register(1, 0, func(Packet) { n++ })
-	d.OnPacket(Packet{ConnID: 1, SubflowID: 0})
+	d.Register(1, 0, func(*Packet) { n++ })
+	d.OnPacket(&Packet{ConnID: 1, SubflowID: 0})
 	d.Unregister(1, 0)
-	d.OnPacket(Packet{ConnID: 1, SubflowID: 0})
+	d.OnPacket(&Packet{ConnID: 1, SubflowID: 0})
 	if n != 1 {
 		t.Fatalf("delivered %d, want 1", n)
 	}
@@ -47,9 +47,9 @@ func TestDemuxUnregister(t *testing.T) {
 func TestDemuxReplaceRoute(t *testing.T) {
 	d := NewDemux()
 	a, b := 0, 0
-	d.Register(1, 0, func(Packet) { a++ })
-	d.Register(1, 0, func(Packet) { b++ })
-	d.OnPacket(Packet{ConnID: 1, SubflowID: 0})
+	d.Register(1, 0, func(*Packet) { a++ })
+	d.Register(1, 0, func(*Packet) { b++ })
+	d.OnPacket(&Packet{ConnID: 1, SubflowID: 0})
 	if a != 0 || b != 1 {
 		t.Fatalf("a=%d b=%d, replacement should win", a, b)
 	}
@@ -66,10 +66,10 @@ func TestDemuxConservationProperty(t *testing.T) {
 		counts := make(map[int]int)
 		for c := 0; c < 4; c++ {
 			c := c
-			d.Register(c, 0, func(Packet) { counts[c]++ })
+			d.Register(c, 0, func(*Packet) { counts[c]++ })
 		}
 		for _, c := range conns {
-			d.OnPacket(Packet{ConnID: int(c % 8), SubflowID: 0})
+			d.OnPacket(&Packet{ConnID: int(c % 8), SubflowID: 0})
 		}
 		routed := 0
 		for _, n := range counts {

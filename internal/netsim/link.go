@@ -8,8 +8,12 @@ import (
 	"repro/internal/sim"
 )
 
-// Receiver consumes packets that survive a link traversal.
-type Receiver func(Packet)
+// Receiver consumes packets that survive a link traversal. The packet
+// is passed by pointer so the ~100-byte struct is not re-copied at
+// every hop of the delivery chain (link → demux → subflow → connection);
+// the pointee is only valid for the duration of the call — receivers
+// that retain a packet must copy it.
+type Receiver func(*Packet)
 
 // LinkStats aggregates per-link counters.
 type LinkStats struct {
@@ -172,8 +176,10 @@ func (l *Link) SetLossRate(p float64) {
 func (l *Link) SetDelay(d time.Duration) { l.delay = d }
 
 // Send enqueues a packet. It returns false when the drop-tail buffer is
-// full and the packet was discarded.
-func (l *Link) Send(p Packet) bool {
+// full and the packet was discarded. The packet is copied exactly once —
+// straight into the in-flight ring slot; the caller keeps ownership of
+// the pointee.
+func (l *Link) Send(p *Packet) bool {
 	if l.dst == nil {
 		panic("netsim: Send on link with nil receiver")
 	}
@@ -183,13 +189,13 @@ func (l *Link) Send(p Packet) bool {
 	if l.queued+p.Size > l.queueLimit {
 		l.stats.Dropped++
 		if l.tracer != nil {
-			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDrop, Link: l.name, Pkt: p})
+			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDrop, Link: l.name, Pkt: *p})
 		}
 		return false
 	}
 	l.stats.Sent++
 	if l.tracer != nil {
-		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceSend, Link: l.name, Pkt: p})
+		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceSend, Link: l.name, Pkt: *p})
 	}
 	l.queued += p.Size
 
@@ -210,21 +216,17 @@ func (l *Link) Send(p Packet) bool {
 	}
 	l.lastArrival = arrival
 
-	l.push(flight{
-		pkt:       p,
-		departure: departure,
-		arrival:   arrival,
-		depTk:     l.eng.ReserveTicket(),
-		arrTk:     l.eng.ReserveTicket(),
-	})
+	// Fill the ring slot in place: one packet copy, no flight struct
+	// traveling down the stack.
+	f := l.ring.PushRef(l.head, l.tail)
+	l.tail++
+	f.pkt = *p
+	f.departure = departure
+	f.arrival = arrival
+	f.depTk = l.eng.ReserveTicket()
+	f.arrTk = l.eng.ReserveTicket()
 	l.scheduleDrain()
 	return true
-}
-
-// push appends an in-flight entry.
-func (l *Link) push(f flight) {
-	l.ring.Push(l.head, l.tail, f)
-	l.tail++
 }
 
 // at returns the in-flight entry with absolute index k.
@@ -303,30 +305,34 @@ func (l *Link) drain() {
 		l.scheduleDrain()
 		return
 	}
-	f := *l.at(l.head)
-	l.head++
-	// Deliver with rescheduling suppressed: the receiver may reentrantly
-	// Send on this link, and the re-arm below must pick the earliest
-	// pending sub-event exactly once.
+	// Deliver straight out of the ring slot — zero copies. The head
+	// cursor is advanced only after delivery returns, so a reentrant
+	// Send cannot reuse the slot: while the head is still live, a push
+	// into a full ring grows it, and growing copies the buffer out
+	// rather than overwriting it, which keeps the delivered pointee
+	// intact for the rest of the receiver chain. Rescheduling is
+	// suppressed so the re-arm below picks the earliest pending
+	// sub-event exactly once.
 	l.draining = true
-	l.deliver(f.pkt)
+	l.deliver(&l.at(l.head).pkt)
 	l.draining = false
+	l.head++
 	l.scheduleDrain()
 }
 
 // deliver applies the loss process and hands the packet to the receiver.
-func (l *Link) deliver(p Packet) {
+func (l *Link) deliver(p *Packet) {
 	if l.lossRate > 0 && l.rng.Float64() < l.lossRate {
 		l.stats.Lost++
 		if l.tracer != nil {
-			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceLoss, Link: l.name, Pkt: p})
+			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceLoss, Link: l.name, Pkt: *p})
 		}
 		return
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += int64(p.Size)
 	if l.tracer != nil {
-		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDeliver, Link: l.name, Pkt: p})
+		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDeliver, Link: l.name, Pkt: *p})
 	}
 	l.dst(p)
 }

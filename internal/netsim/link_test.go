@@ -12,11 +12,11 @@ func mbps(m float64) float64 { return m * 1e6 }
 func TestLinkDeliversWithSerializationAndPropagation(t *testing.T) {
 	eng := sim.New()
 	var arrived []sim.Time
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 10 * time.Millisecond}, func(p Packet) {
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 10 * time.Millisecond}, func(p *Packet) {
 		arrived = append(arrived, eng.Now())
 	})
 	// 1000 bytes at 8 Mbps = 1 ms serialization; +10 ms propagation.
-	if !l.Send(Packet{Size: 1000}) {
+	if !l.Send(&Packet{Size: 1000}) {
 		t.Fatal("Send returned false")
 	}
 	eng.Run()
@@ -32,11 +32,11 @@ func TestLinkDeliversWithSerializationAndPropagation(t *testing.T) {
 func TestLinkSerializesBackToBack(t *testing.T) {
 	eng := sim.New()
 	var arrived []sim.Time
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0}, func(p Packet) {
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0}, func(p *Packet) {
 		arrived = append(arrived, eng.Now())
 	})
 	for i := 0; i < 3; i++ {
-		l.Send(Packet{Size: 1000})
+		l.Send(&Packet{Size: 1000})
 	}
 	eng.Run()
 	if len(arrived) != 3 {
@@ -52,12 +52,12 @@ func TestLinkSerializesBackToBack(t *testing.T) {
 func TestLinkDropsWhenQueueFull(t *testing.T) {
 	eng := sim.New()
 	delivered := 0
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(1), Delay: 0, QueueBytes: 2500}, func(p Packet) {
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(1), Delay: 0, QueueBytes: 2500}, func(p *Packet) {
 		delivered++
 	})
-	ok1 := l.Send(Packet{Size: 1000})
-	ok2 := l.Send(Packet{Size: 1000})
-	ok3 := l.Send(Packet{Size: 1000}) // 3000 > 2500: dropped
+	ok1 := l.Send(&Packet{Size: 1000})
+	ok2 := l.Send(&Packet{Size: 1000})
+	ok3 := l.Send(&Packet{Size: 1000}) // 3000 > 2500: dropped
 	eng.Run()
 	if !ok1 || !ok2 {
 		t.Fatal("first two sends should be accepted")
@@ -76,9 +76,9 @@ func TestLinkDropsWhenQueueFull(t *testing.T) {
 
 func TestLinkQueueDrainsOverTime(t *testing.T) {
 	eng := sim.New()
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0, QueueBytes: 10000}, func(p Packet) {})
-	l.Send(Packet{Size: 1000})
-	l.Send(Packet{Size: 1000})
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0, QueueBytes: 10000}, func(p *Packet) {})
+	l.Send(&Packet{Size: 1000})
+	l.Send(&Packet{Size: 1000})
 	if l.QueuedBytes() != 2000 {
 		t.Fatalf("queued = %d, want 2000", l.QueuedBytes())
 	}
@@ -95,13 +95,13 @@ func TestLinkQueueDrainsOverTime(t *testing.T) {
 func TestLinkRateChangeAffectsLaterPackets(t *testing.T) {
 	eng := sim.New()
 	var arrived []sim.Time
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0}, func(p Packet) {
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(8), Delay: 0}, func(p *Packet) {
 		arrived = append(arrived, eng.Now())
 	})
-	l.Send(Packet{Size: 1000}) // 1 ms at 8 Mbps
+	l.Send(&Packet{Size: 1000}) // 1 ms at 8 Mbps
 	eng.Run()
 	l.SetRateBps(mbps(4))
-	l.Send(Packet{Size: 1000}) // 2 ms at 4 Mbps
+	l.Send(&Packet{Size: 1000}) // 2 ms at 4 Mbps
 	eng.Run()
 	if arrived[0] != time.Millisecond {
 		t.Fatalf("first at %v, want 1ms", arrived[0])
@@ -114,12 +114,12 @@ func TestLinkRateChangeAffectsLaterPackets(t *testing.T) {
 func TestLinkRandomLoss(t *testing.T) {
 	eng := sim.New()
 	delivered := 0
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(100), Delay: 0, LossRate: 0.5, Seed: 1, QueueBytes: 1 << 30}, func(p Packet) {
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(100), Delay: 0, LossRate: 0.5, Seed: 1, QueueBytes: 1 << 30}, func(p *Packet) {
 		delivered++
 	})
 	const n = 2000
 	for i := 0; i < n; i++ {
-		l.Send(Packet{Size: 100})
+		l.Send(&Packet{Size: 100})
 	}
 	eng.Run()
 	if delivered < n*4/10 || delivered > n*6/10 {
@@ -134,11 +134,11 @@ func TestLinkRandomLoss(t *testing.T) {
 func TestLinkPanicsOnBadConfig(t *testing.T) {
 	eng := sim.New()
 	assertPanics(t, "zero rate", func() { NewLink(eng, LinkConfig{RateBps: 0}, nil) })
-	l := NewLink(eng, LinkConfig{RateBps: 1e6}, func(Packet) {})
-	assertPanics(t, "zero size", func() { l.Send(Packet{Size: 0}) })
+	l := NewLink(eng, LinkConfig{RateBps: 1e6}, func(*Packet) {})
+	assertPanics(t, "zero size", func() { l.Send(&Packet{Size: 0}) })
 	assertPanics(t, "negative rate set", func() { l.SetRateBps(-1) })
 	l2 := NewLink(eng, LinkConfig{RateBps: 1e6}, nil)
-	assertPanics(t, "nil receiver", func() { l2.Send(Packet{Size: 10}) })
+	assertPanics(t, "nil receiver", func() { l2.Send(&Packet{Size: 10}) })
 }
 
 func assertPanics(t *testing.T, name string, fn func()) {
@@ -156,12 +156,12 @@ func TestLinkConservation(t *testing.T) {
 	// duplicated, never stuck.
 	eng := sim.New()
 	delivered := 0
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(10), Delay: time.Millisecond, QueueBytes: 20000, LossRate: 0.1, Seed: 3}, func(p Packet) {
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: mbps(10), Delay: time.Millisecond, QueueBytes: 20000, LossRate: 0.1, Seed: 3}, func(p *Packet) {
 		delivered++
 	})
 	accepted := 0
 	for i := 0; i < 500; i++ {
-		if l.Send(Packet{Size: 1200}) {
+		if l.Send(&Packet{Size: 1200}) {
 			accepted++
 		}
 		// Space sends so the queue partially drains.
@@ -181,10 +181,10 @@ func TestPathWiring(t *testing.T) {
 	eng := sim.New()
 	p := NewPath(eng, PathConfig{Name: "wifi", RateBps: mbps(8), Delay: 5 * time.Millisecond})
 	var fwdGot, revGot bool
-	p.SetForwardReceiver(func(Packet) { fwdGot = true })
-	p.SetReverseReceiver(func(Packet) { revGot = true })
-	p.Forward().Send(Packet{Size: 100})
-	p.Reverse().Send(Packet{Size: 100})
+	p.SetForwardReceiver(func(*Packet) { fwdGot = true })
+	p.SetReverseReceiver(func(*Packet) { revGot = true })
+	p.Forward().Send(&Packet{Size: 100})
+	p.Reverse().Send(&Packet{Size: 100})
 	eng.Run()
 	if !fwdGot || !revGot {
 		t.Fatalf("fwd=%v rev=%v, want both true", fwdGot, revGot)

@@ -99,7 +99,7 @@ func (tb *TokenBucket) refill() {
 }
 
 // Send shapes one packet. It returns false when the packet was dropped.
-func (tb *TokenBucket) Send(p Packet) bool {
+func (tb *TokenBucket) Send(p *Packet) bool {
 	tb.refill()
 	if tb.qhead == tb.qtail && tb.tokens >= float64(p.Size) {
 		tb.tokens -= float64(p.Size)
@@ -110,7 +110,7 @@ func (tb *TokenBucket) Send(p Packet) bool {
 		return false
 	}
 	tb.shaped++
-	tb.queue.Push(tb.qhead, tb.qtail, p)
+	*tb.queue.PushRef(tb.qhead, tb.qtail) = *p
 	tb.qtail++
 	tb.queuedBytes += p.Size
 	tb.scheduleDrain()
@@ -140,12 +140,18 @@ func drainTokenBucket(arg any) { arg.(*TokenBucket).drain() }
 func (tb *TokenBucket) drain() {
 	tb.draining = false
 	tb.refill()
-	for tb.qhead < tb.qtail && tb.tokens >= float64(tb.queue.At(tb.qhead).Size) {
-		p := *tb.queue.At(tb.qhead)
-		tb.qhead++
+	for tb.qhead < tb.qtail {
+		// Forward straight out of the backlog slot: the downstream link
+		// copies the packet into its own ring and never reenters this
+		// shaper, so the in-queue pointer stays valid across the call.
+		p := tb.queue.At(tb.qhead)
+		if tb.tokens < float64(p.Size) {
+			break
+		}
 		tb.queuedBytes -= p.Size
 		tb.tokens -= float64(p.Size)
 		tb.next.Send(p)
+		tb.qhead++
 	}
 	tb.scheduleDrain()
 }

@@ -10,13 +10,13 @@ import (
 func TestTokenBucketBurstPassesAtLineRate(t *testing.T) {
 	eng := sim.New()
 	var arrived []sim.Time
-	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(p Packet) {
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(p *Packet) {
 		arrived = append(arrived, eng.Now())
 	})
 	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e6, BurstBytes: 10_000}, line)
 	// 5 KB burst fits the bucket: all packets traverse at line rate.
 	for i := 0; i < 5; i++ {
-		if !tb.Send(Packet{Size: 1000}) {
+		if !tb.Send(&Packet{Size: 1000}) {
 			t.Fatal("burst within bucket was rejected")
 		}
 	}
@@ -33,14 +33,14 @@ func TestTokenBucketThrottlesToRate(t *testing.T) {
 	eng := sim.New()
 	var last sim.Time
 	delivered := 0
-	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(p Packet) {
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(p *Packet) {
 		last = eng.Now()
 		delivered++
 	})
 	// 1 Mbps shaping, tiny bucket: 25 KB should take ~0.2 s.
 	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e6, BurstBytes: 1500, QueueBytes: 1 << 20}, line)
 	for i := 0; i < 25; i++ {
-		tb.Send(Packet{Size: 1000})
+		tb.Send(&Packet{Size: 1000})
 	}
 	eng.Run()
 	if delivered != 25 {
@@ -58,11 +58,11 @@ func TestTokenBucketThrottlesToRate(t *testing.T) {
 
 func TestTokenBucketDropsOverflow(t *testing.T) {
 	eng := sim.New()
-	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(Packet) {})
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(*Packet) {})
 	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e5, BurstBytes: 1000, QueueBytes: 3000}, line)
 	accepted := 0
 	for i := 0; i < 10; i++ {
-		if tb.Send(Packet{Size: 1000}) {
+		if tb.Send(&Packet{Size: 1000}) {
 			accepted++
 		}
 	}
@@ -81,10 +81,10 @@ func TestTokenBucketDropsOverflow(t *testing.T) {
 func TestTokenBucketRateChange(t *testing.T) {
 	eng := sim.New()
 	delivered := 0
-	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(Packet) { delivered++ })
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9, Delay: 0}, func(*Packet) { delivered++ })
 	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e5, BurstBytes: 1000, QueueBytes: 1 << 20}, line)
 	for i := 0; i < 20; i++ {
-		tb.Send(Packet{Size: 1000})
+		tb.Send(&Packet{Size: 1000})
 	}
 	eng.RunUntil(100 * time.Millisecond)
 	tb.SetRateBps(1e7) // 100x faster
@@ -101,7 +101,7 @@ func TestTokenBucketRateChange(t *testing.T) {
 
 func TestTokenBucketPanicsOnBadRate(t *testing.T) {
 	eng := sim.New()
-	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9}, func(Packet) {})
+	line := NewLink(eng, LinkConfig{Name: "line", RateBps: 1e9}, func(*Packet) {})
 	assertPanics(t, "zero rate", func() { NewTokenBucket(eng, TokenBucketConfig{RateBps: 0}, line) })
 	tb := NewTokenBucket(eng, TokenBucketConfig{RateBps: 1e6}, line)
 	assertPanics(t, "negative set", func() { tb.SetRateBps(-1) })
@@ -109,12 +109,12 @@ func TestTokenBucketPanicsOnBadRate(t *testing.T) {
 
 func TestTracerRecordsLinkEvents(t *testing.T) {
 	eng := sim.New()
-	l := NewLink(eng, LinkConfig{Name: "t", RateBps: 1e6, Delay: time.Millisecond, QueueBytes: 2500}, func(Packet) {})
+	l := NewLink(eng, LinkConfig{Name: "t", RateBps: 1e6, Delay: time.Millisecond, QueueBytes: 2500}, func(*Packet) {})
 	tr := NewTracer(0)
 	tr.Attach(l)
-	l.Send(Packet{Kind: Data, Size: 1000, Seq: 0, DSN: 0, PayloadLen: 940})
-	l.Send(Packet{Kind: Data, Size: 1000, Seq: 940, DSN: 940, PayloadLen: 940})
-	l.Send(Packet{Kind: Data, Size: 1000, Seq: 1880, DSN: 1880, PayloadLen: 940}) // dropped
+	l.Send(&Packet{Kind: Data, Size: 1000, Seq: 0, DSN: 0, PayloadLen: 940})
+	l.Send(&Packet{Kind: Data, Size: 1000, Seq: 940, DSN: 940, PayloadLen: 940})
+	l.Send(&Packet{Kind: Data, Size: 1000, Seq: 1880, DSN: 1880, PayloadLen: 940}) // dropped
 	eng.Run()
 	if got := tr.CountKind(TraceSend); got != 2 {
 		t.Fatalf("sends = %d, want 2", got)

@@ -1,0 +1,132 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureWarnings swaps the warning sink for the test's lifetime.
+func captureWarnings(t *testing.T) *[]string {
+	t.Helper()
+	var got []string
+	old := warnf
+	warnf = func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	}
+	t.Cleanup(func() { warnf = old })
+	return &got
+}
+
+func TestFingerprintRoundTripHits(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Ratio float64
+		OOO   []time.Duration
+	}
+	k := Key{Experiment: "fp", Cell: 1, Schema: 1, Scale: "v60"}
+	if err := st.Put(k, rec{Ratio: 0.5, OOO: []time.Duration{time.Second}}); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if !st.Get(k, &got) || got.Ratio != 0.5 {
+		t.Fatalf("round trip failed: %+v", got)
+	}
+}
+
+func TestFingerprintStructuralNotNominal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type recV1 struct{ X int64 }
+	type renamed struct{ X int64 } // same shape, different type name
+	k := Key{Experiment: "fp", Cell: 2, Schema: 1, Scale: "v60"}
+	if err := st.Put(k, recV1{X: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got renamed
+	if !st.Get(k, &got) || got.X != 7 {
+		t.Fatal("renaming a payload type (same shape) must keep records valid")
+	}
+}
+
+func TestFingerprintMismatchWarnsAndMisses(t *testing.T) {
+	warnings := captureWarnings(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type oldShape struct{ Ratio float64 }
+	type newShape struct {
+		Ratio float64
+		Extra int64 // simulator grew the record, nobody bumped Schema
+	}
+	k := Key{Experiment: "fp", Cell: 3, Schema: 1, Scale: "v60"}
+	if err := st.Put(k, oldShape{Ratio: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	var got newShape
+	if st.Get(k, &got) {
+		t.Fatal("shape-changed record was served as a hit")
+	}
+	if len(*warnings) != 1 {
+		t.Fatalf("got %d warnings, want 1: %v", len(*warnings), *warnings)
+	}
+	if !strings.Contains((*warnings)[0], "bump the experiment's schema") {
+		t.Fatalf("warning does not point at the schema bump: %q", (*warnings)[0])
+	}
+	// The warning is deduped per group.
+	var again newShape
+	st.Get(k, &again)
+	if len(*warnings) != 1 {
+		t.Fatalf("mismatch warning not deduped: %v", *warnings)
+	}
+	// Recomputing and rewriting heals the record for the new shape.
+	if err := st.Put(k, newShape{Ratio: 0.25, Extra: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Get(k, &got) || got.Extra != 1 {
+		t.Fatal("rewritten record not served")
+	}
+}
+
+func TestLegacyRecordWithoutFingerprintMisses(t *testing.T) {
+	warnings := captureWarnings(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct{ V int }
+	k := Key{Experiment: "legacy", Cell: 0, Schema: 1, Scale: "v60"}
+	// Hand-write a pre-fingerprint envelope at the record's path.
+	data, _ := json.Marshal(rec{V: 9})
+	legacy, _ := json.Marshal(struct {
+		Key  Key             `json:"key"`
+		Data json.RawMessage `json:"data"`
+	}{Key: k, Data: data})
+	if err := st.Put(k, rec{V: 1}); err != nil { // establish the path
+		t.Fatal(err)
+	}
+	path := st.path(k)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if st.Get(k, &got) {
+		t.Fatal("legacy record without fingerprint was served")
+	}
+	if len(*warnings) != 1 || !strings.Contains((*warnings)[0], "predate payload fingerprints") {
+		t.Fatalf("warnings = %v", *warnings)
+	}
+}

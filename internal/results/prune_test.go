@@ -1,0 +1,121 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// prunePut stores one tiny record under the given group.
+func prunePut(t *testing.T, st *Store, exp, scale string, schema, cell int) {
+	t.Helper()
+	type rec struct{ V int }
+	k := Key{Experiment: exp, Cell: cell, Schema: schema, Scale: scale}
+	if err := st.Put(k, rec{V: cell}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneDeletesOnlyRejectedGroups(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunePut(t, st, "grid/ecf", "gv30", 2, 0)
+	prunePut(t, st, "grid/ecf", "gv30", 2, 1)
+	prunePut(t, st, "grid/ecf", "gv90", 2, 0) // stale scale
+	prunePut(t, st, "fig16", "rd80,rs3", 1, 0)
+	prunePut(t, st, "oldexp", "v60", 1, 0) // stale experiment
+
+	active := map[Group]bool{
+		{Experiment: "grid/ecf", Scale: "gv30", Schema: 2}:  true,
+		{Experiment: "fig16", Scale: "rd80,rs3", Schema: 1}: true,
+	}
+	keep := func(g Group) bool { return active[g] }
+
+	// Dry run: full report, nothing removed.
+	rep, err := st.Prune(keep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeletedRecords() != 2 || len(rep.Deleted) != 2 {
+		t.Fatalf("dry-run: DeletedRecords = %d, groups = %d; want 2, 2", rep.DeletedRecords(), len(rep.Deleted))
+	}
+	if rep.KeptRecords != 3 {
+		t.Fatalf("dry-run: KeptRecords = %d, want 3", rep.KeptRecords)
+	}
+	if audit, _ := st.Audit(); audit.Records != 5 {
+		t.Fatalf("dry run removed records: %d left, want 5", audit.Records)
+	}
+
+	// Real pass.
+	rep, err = st.Prune(keep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeletedRecords() != 2 {
+		t.Fatalf("DeletedRecords = %d, want 2", rep.DeletedRecords())
+	}
+	audit, err := st.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Records != 3 {
+		t.Fatalf("%d records left, want 3", audit.Records)
+	}
+	for _, line := range audit.Lines {
+		if !active[Group{Experiment: line.Experiment, Scale: line.Scale, Schema: line.Schema}] {
+			t.Fatalf("stale group %+v survived the prune", line)
+		}
+	}
+	// The emptied experiment directory is gone.
+	if _, err := os.Stat(filepath.Join(dir, "oldexp")); !os.IsNotExist(err) {
+		t.Fatalf("emptied experiment dir survived: %v", err)
+	}
+	// The kept records still decode.
+	var got struct{ V int }
+	if !st.Get(Key{Experiment: "fig16", Cell: 0, Schema: 1, Scale: "rd80,rs3"}, &got) || got.V != 0 {
+		t.Fatal("kept record no longer readable")
+	}
+}
+
+func TestPruneLeavesUnreadableFilesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunePut(t, st, "fig16", "rd80,rs3", 1, 0)
+	trunc := filepath.Join(dir, "fig16", "c9999-dead.json")
+	if err := os.WriteFile(trunc, []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Prune(func(Group) bool { return false }, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unreadable != 1 {
+		t.Fatalf("Unreadable = %d, want 1", rep.Unreadable)
+	}
+	if _, err := os.Stat(trunc); err != nil {
+		t.Fatalf("unreadable file was removed: %v", err)
+	}
+}
+
+func TestEnumerateSessionRecordsGroupsWithoutComputing(t *testing.T) {
+	ses := &Session{Enumerate: true}
+	computed := 0
+	spec := Spec{Experiment: "e", Schema: 3, Scale: "v60"}
+	err := runCell(ses, spec, 0, func(int) int { computed++; return 0 }, func(int, int) { computed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 0 {
+		t.Fatalf("enumerate mode executed compute/collect %d times", computed)
+	}
+	groups := ses.ActiveGroups()
+	if len(groups) != 1 || groups[0] != (Group{Experiment: "e", Scale: "v60", Schema: 3}) {
+		t.Fatalf("ActiveGroups = %+v", groups)
+	}
+}

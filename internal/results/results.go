@@ -41,8 +41,10 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -131,6 +133,15 @@ func (sh Shard) String() string {
 	return fmt.Sprintf("%d/%d", sh.Index, sh.Count)
 }
 
+// Group identifies one (experiment, scale, schema) family of records —
+// the granularity at which cache entries go stale together: a schema
+// bump or scale change strands the whole group.
+type Group struct {
+	Experiment string
+	Scale      string
+	Schema     int
+}
+
 // Session is the per-invocation cache/shard policy shared by every
 // driver of one run, plus the hit/computed counters the harness
 // reports. The zero value (and nil) computes everything in-process with
@@ -143,9 +154,52 @@ type Session struct {
 	// Merge serves every cell from the store and simulates nothing; a
 	// missing record is an error naming the cell.
 	Merge bool
+	// Enumerate records which record groups the run would touch without
+	// reading or computing anything: every cell is skipped after noting
+	// its spec. Driving the full experiment catalog through an
+	// enumerating session yields the active matrix — the ground truth
+	// -cache-prune keeps (derived from the very code paths that build
+	// the specs, so it cannot drift from the drivers).
+	Enumerate bool
 
 	hits     atomic.Int64
 	computed atomic.Int64
+
+	activeMu sync.Mutex
+	active   map[Group]struct{}
+}
+
+// noteGroup records one spec's group during an enumerating run.
+func (s *Session) noteGroup(spec Spec) {
+	g := Group{Experiment: spec.Experiment, Scale: spec.Scale, Schema: spec.Schema}
+	s.activeMu.Lock()
+	if s.active == nil {
+		s.active = make(map[Group]struct{})
+	}
+	s.active[g] = struct{}{}
+	s.activeMu.Unlock()
+}
+
+// ActiveGroups returns the record groups noted by an enumerating run,
+// sorted by (experiment, scale, schema).
+func (s *Session) ActiveGroups() []Group {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	out := make([]Group, 0, len(s.active))
+	for g := range s.active {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		return a.Schema < b.Schema
+	})
+	return out
 }
 
 // Stats returns how many cells were served from the store and how many

@@ -47,6 +47,10 @@ func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect f
 		collect(i, compute(i))
 		return nil
 	}
+	if s.Enumerate {
+		s.noteGroup(spec)
+		return nil
+	}
 	k := spec.key(i)
 	if s.Merge {
 		var v T

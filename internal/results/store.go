@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // Store is the on-disk cell cache: one JSON file per record, grouped in
@@ -15,6 +16,8 @@ import (
 // corrupted cache heals itself by recomputation.
 type Store struct {
 	root string
+	// warned dedupes fingerprint-mismatch warnings per record group.
+	warned sync.Map
 }
 
 // Open prepares dir as a cell store, creating it (and parents) when
@@ -53,9 +56,13 @@ func (s *Store) Dir() string { return s.root }
 
 // envelope pairs the key with the payload on disk, so a read verifies
 // it decoded the record it asked for (guarding against hash collisions
-// and hand-edited files).
+// and hand-edited files). Fp is the structural fingerprint of the
+// payload's Go type at write time (see fingerprint.go): a read whose
+// target type no longer matches warns and misses instead of silently
+// decoding a stale shape.
 type envelope struct {
 	Key  Key             `json:"key"`
+	Fp   string          `json:"fp,omitempty"`
 	Data json.RawMessage `json:"data"`
 }
 
@@ -75,8 +82,11 @@ func (s *Store) path(k Key) string {
 }
 
 // Get decodes the record for k into into (a pointer). It returns false
-// on any miss: no file, unreadable file, malformed JSON, or a stored
-// key that does not match the request.
+// on any miss: no file, unreadable file, malformed JSON, a stored key
+// that does not match the request, or a payload fingerprint that does
+// not match the target type — the last case also warns (once per
+// group), since it means the simulator's record shape changed without
+// a schema bump and the cached group is stale.
 func (s *Store) Get(k Key, into any) bool {
 	raw, err := os.ReadFile(s.path(k))
 	if err != nil {
@@ -86,16 +96,21 @@ func (s *Store) Get(k Key, into any) bool {
 	if json.Unmarshal(raw, &env) != nil || env.Key != k {
 		return false
 	}
+	if want := targetFingerprint(into); env.Fp != want {
+		s.warnMismatch(k, env.Fp, want)
+		return false
+	}
 	return json.Unmarshal(env.Data, into) == nil
 }
 
-// Put atomically persists v as the record for k.
+// Put atomically persists v as the record for k, stamped with the
+// payload type's structural fingerprint.
 func (s *Store) Put(k Key, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
 	}
-	raw, err := json.Marshal(envelope{Key: k, Data: data})
+	raw, err := json.Marshal(envelope{Key: k, Fp: payloadFingerprint(v), Data: data})
 	if err != nil {
 		return fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
 	}

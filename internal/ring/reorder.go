@@ -1,0 +1,102 @@
+package ring
+
+// Reorder is a seq-ordered sliding buffer for out-of-order stream
+// reassembly: the receive-side replacement for a map keyed by sequence
+// number. Entries are (seq, length, value) triples kept sorted by seq
+// in a deque that slides with the consumer's cumulative point — the
+// front is popped as the in-order edge advances, new highest segments
+// append at the back, and hole-filling arrivals insert in between
+// (binary search plus a short memmove over a reorder window that is
+// bounded by the congestion window).
+//
+// The deque reuses its backing storage forever: popping moves a head
+// index, and appends compact the popped prefix in place before growing.
+// Once the buffer has reached the working-set size, Insert/PopAt
+// allocate nothing. Values must not hold pointers the caller expects to
+// be released on pop — popped entries are not zeroed (the simulator
+// stores only plain scalars here).
+//
+// Segments are assumed non-overlapping with stable boundaries, as TCP
+// retransmission produces: two segments with the same seq are the same
+// segment (Insert reports the second as a duplicate), and segments with
+// different seqs never overlap.
+type Reorder[T any] struct {
+	ents []reorderEnt[T]
+	head int
+}
+
+// reorderEnt is one buffered segment.
+type reorderEnt[T any] struct {
+	seq    int64
+	length int
+	val    T
+}
+
+// Len returns the number of buffered (out-of-order) segments.
+func (r *Reorder[T]) Len() int { return len(r.ents) - r.head }
+
+// Insert buffers segment [seq, seq+length) with its associated value.
+// It reports false — and stores nothing — when the seq is already
+// buffered (a duplicate arrival).
+func (r *Reorder[T]) Insert(seq int64, length int, v T) bool {
+	n := len(r.ents)
+	// Common case: a new highest segment (in-order growth of the
+	// out-of-order block) appends at the back.
+	if n == r.head || seq > r.ents[n-1].seq {
+		r.push(reorderEnt[T]{seq: seq, length: length, val: v})
+		return true
+	}
+	// Common case: a retransmit filling space just below the block
+	// lands in front; the popped prefix usually has a free slot.
+	if seq < r.ents[r.head].seq && r.head > 0 {
+		r.head--
+		r.ents[r.head] = reorderEnt[T]{seq: seq, length: length, val: v}
+		return true
+	}
+	// General case: binary search the live span, then shift the tail.
+	lo, hi := r.head, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.ents[mid].seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n && r.ents[lo].seq == seq {
+		return false // duplicate
+	}
+	var zero reorderEnt[T]
+	r.ents = append(r.ents, zero)
+	copy(r.ents[lo+1:], r.ents[lo:len(r.ents)-1])
+	r.ents[lo] = reorderEnt[T]{seq: seq, length: length, val: v}
+	return true
+}
+
+// PopAt removes and returns the front segment if it starts exactly at
+// seq — the hole-drain step: the consumer calls it with its cumulative
+// point after each advance.
+func (r *Reorder[T]) PopAt(seq int64) (length int, v T, ok bool) {
+	if r.head == len(r.ents) || r.ents[r.head].seq != seq {
+		var zero T
+		return 0, zero, false
+	}
+	e := r.ents[r.head]
+	r.head++
+	if r.head == len(r.ents) {
+		r.head = 0
+		r.ents = r.ents[:0]
+	}
+	return e.length, e.val, true
+}
+
+// push appends at the back, compacting the popped prefix in place when
+// the buffer is full so storage is reused instead of re-grown.
+func (r *Reorder[T]) push(e reorderEnt[T]) {
+	if len(r.ents) == cap(r.ents) && r.head > 0 {
+		live := copy(r.ents, r.ents[r.head:])
+		r.ents = r.ents[:live]
+		r.head = 0
+	}
+	r.ents = append(r.ents, e)
+}

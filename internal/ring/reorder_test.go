@@ -1,0 +1,126 @@
+package ring
+
+import "testing"
+
+func TestReorderInOrderNeverBuffers(t *testing.T) {
+	var r Reorder[int]
+	if r.Len() != 0 {
+		t.Fatalf("zero value Len = %d", r.Len())
+	}
+	if _, _, ok := r.PopAt(0); ok {
+		t.Fatal("PopAt on empty buffer reported ok")
+	}
+}
+
+func TestReorderInsertPopChain(t *testing.T) {
+	var r Reorder[string]
+	// Arrivals 200, 400, 100 (lengths 100 each); hole at 0.
+	for _, seq := range []int64{200, 400, 100} {
+		if !r.Insert(seq, 100, "v") {
+			t.Fatalf("Insert(%d) reported duplicate", seq)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if _, _, ok := r.PopAt(0); ok {
+		t.Fatal("PopAt(0) succeeded with a hole at 0")
+	}
+	// Hole fills at 100: the chain 100, 200 drains, then stalls at the
+	// 300 hole, then 400 remains buffered.
+	for _, seq := range []int64{100, 200} {
+		if l, _, ok := r.PopAt(seq); !ok || l != 100 {
+			t.Fatalf("PopAt(%d) = (%d, %v), want (100, true)", seq, l, ok)
+		}
+	}
+	if _, _, ok := r.PopAt(300); ok {
+		t.Fatal("PopAt(300) succeeded with a hole at 300")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (the 400 segment)", r.Len())
+	}
+	if l, _, ok := r.PopAt(400); !ok || l != 100 {
+		t.Fatalf("PopAt(400) = (%d, %v), want (100, true)", l, ok)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after full drain, want 0", r.Len())
+	}
+}
+
+func TestReorderDuplicateDetection(t *testing.T) {
+	var r Reorder[int]
+	if !r.Insert(500, 100, 1) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if r.Insert(500, 100, 2) {
+		t.Fatal("second insert of same seq not reported as duplicate")
+	}
+	// Middle duplicate.
+	r.Insert(700, 100, 3)
+	r.Insert(600, 100, 4)
+	if r.Insert(600, 100, 5) {
+		t.Fatal("middle duplicate not detected")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestReorderFrontInsertReusesPoppedPrefix(t *testing.T) {
+	var r Reorder[int]
+	r.Insert(100, 100, 0)
+	r.Insert(200, 100, 0)
+	if l, _, ok := r.PopAt(100); !ok || l != 100 {
+		t.Fatalf("PopAt(100) = (%d, %v)", l, ok)
+	}
+	// 150 < front(200): should slot into the freed prefix cell.
+	if !r.Insert(150, 50, 0) {
+		t.Fatal("front insert reported duplicate")
+	}
+	if l, _, ok := r.PopAt(150); !ok || l != 50 {
+		t.Fatalf("PopAt(150) = (%d, %v)", l, ok)
+	}
+	if l, _, ok := r.PopAt(200); !ok || l != 100 {
+		t.Fatalf("PopAt(200) = (%d, %v)", l, ok)
+	}
+}
+
+func TestReorderValuesTravelWithSegments(t *testing.T) {
+	var r Reorder[int]
+	for i := 0; i < 20; i++ {
+		r.Insert(int64(100+i*10), 10, i)
+	}
+	for i := 0; i < 20; i++ {
+		_, v, ok := r.PopAt(int64(100 + i*10))
+		if !ok || v != i {
+			t.Fatalf("PopAt(%d) = (%d, %v), want (%d, true)", 100+i*10, v, ok, i)
+		}
+	}
+}
+
+func TestReorderSteadyStateAllocs(t *testing.T) {
+	var r Reorder[int64]
+	// Warm to the working set.
+	cycle := func() {
+		base := int64(0)
+		for round := 0; round < 8; round++ {
+			// Insert 16 segments in reverse, drain them in order.
+			for i := 15; i >= 0; i-- {
+				r.Insert(base+int64(i)*100, 100, 0)
+			}
+			at := base
+			for i := 0; i < 16; i++ {
+				l, _, ok := r.PopAt(at)
+				if !ok {
+					t.Fatalf("drain stalled at %d", at)
+				}
+				at += int64(l)
+			}
+			base = at
+		}
+	}
+	cycle()
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("steady-state reorder buffer allocates %v per cycle, want 0", avg)
+	}
+}

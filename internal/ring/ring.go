@@ -1,10 +1,12 @@
 // Package ring provides the absolute-indexed circular buffer backing
 // the simulator's in-flight FIFOs (netsim.Link's flight ring,
-// tcp.Subflow's inflight segment ring). The caller owns its cursors —
-// monotonically increasing absolute counters — and the ring guarantees
-// that entry k stays at a stable masked position while live, growing by
-// doubling when the live span fills the buffer. Steady-state push/read
-// allocates nothing once the buffer has reached the working-set size.
+// tcp.Subflow's inflight segment ring) and the seq-ordered reorder
+// buffer backing stream reassembly (tcp.SubflowRecv, mptcp.Receiver).
+// The caller owns its cursors — monotonically increasing absolute
+// counters — and the ring guarantees that entry k stays at a stable
+// masked position while live, growing by doubling when the live span
+// fills the buffer. Steady-state push/read allocates nothing once the
+// buffer has reached the working-set size.
 package ring
 
 // Ring is a power-of-two-sized circular buffer addressed by absolute
@@ -15,15 +17,29 @@ type Ring[T any] struct {
 
 // Push stores v at absolute index tail, where [head, tail) is the live
 // span; the caller increments its tail counter afterwards.
+//
+// For large T prefer PushRef, which constructs the entry in place
+// instead of copying a fully built value through the call.
 func (r *Ring[T]) Push(head, tail uint64, v T) {
+	*r.PushRef(head, tail) = v
+}
+
+// PushRef makes room at absolute index tail and returns a pointer to
+// the entry's storage, so the caller fills the fields in place — no
+// stack copy of a large entry travels through the call. The returned
+// pointer is valid until the next grow (i.e. the next push may move
+// it); the caller increments its tail counter afterwards.
+func (r *Ring[T]) PushRef(head, tail uint64) *T {
 	if int(tail-head) == len(r.buf) {
 		r.grow(head, tail)
 	}
-	r.buf[tail&uint64(len(r.buf)-1)] = v
+	return &r.buf[tail&uint64(len(r.buf)-1)]
 }
 
-// At returns the entry at absolute index k, which must lie in the live
-// span.
+// At returns a pointer to the entry at absolute index k, which must lie
+// in the live span. Mutating through the pointer is the idiom for
+// head-of-line state updates (netsim.Link's drain); the pointer is
+// invalidated by the next grow.
 func (r *Ring[T]) At(k uint64) *T {
 	return &r.buf[k&uint64(len(r.buf)-1)]
 }

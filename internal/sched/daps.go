@@ -20,11 +20,14 @@ import (
 // ratio (§5.4) is retained: the plan follows SRTT estimates wherever they
 // lead.
 type DAPS struct {
-	credit map[int]float64
+	// credit is indexed by subflow ID — IDs are the subflow's position
+	// in the connection's creation order, so the counters are a dense
+	// slice rather than a map hashed on every scheduling decision.
+	credit []float64
 }
 
 // NewDAPS returns a DAPS scheduler.
-func NewDAPS() *DAPS { return &DAPS{credit: make(map[int]float64)} }
+func NewDAPS() *DAPS { return &DAPS{} }
 
 // Name implements mptcp.Scheduler.
 func (*DAPS) Name() string { return "daps" }
@@ -45,6 +48,9 @@ func dapsRate(sf *tcp.Subflow) float64 {
 // Select implements mptcp.Scheduler.
 func (d *DAPS) Select(c *mptcp.Conn) *tcp.Subflow {
 	subflows := c.Subflows()
+	for len(d.credit) < len(subflows) {
+		d.credit = append(d.credit, 0)
+	}
 	var sum float64
 	anyAvailable := false
 	for _, sf := range subflows {

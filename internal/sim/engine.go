@@ -5,17 +5,32 @@
 // timestamp order; ties are broken by scheduling order, which makes every
 // simulation fully deterministic for a given seed.
 //
-// # Allocation contract
+// # Allocation and layout contract
 //
-// The engine is built for allocation-free steady-state operation: timers
-// live in an engine-owned arena recycled through a free list, the event
-// queue is an index-addressed 4-ary min-heap over that arena, and the
-// closure-free ScheduleCall/AtCall forms let hot-path callers (links,
-// subflows, shapers) schedule events without capturing anything. Once the
-// arena and heap have grown to a simulation's working set, scheduling,
-// firing and cancelling timers perform zero heap allocations — the
-// AllocsPerRun regression tests in this package and in netsim/tcp pin
-// that at ~0 allocations per packet.
+// The engine is built for allocation-free, cache-resident steady-state
+// operation:
+//
+//   - Timers live in an engine-owned arena recycled through a free list;
+//     a slot holds only the callback (fn, arg), its generation and its
+//     heap position — 32 bytes.
+//   - The event queue is a 4-ary min-heap of 24-byte entries that embed
+//     the full ordering key (at, seq) next to the arena slot index, so
+//     sift comparisons read only the contiguous heap slice and never
+//     chase a pointer into the arena. The arena is touched exactly once
+//     per moved entry (to maintain the slot's heap position for eager
+//     Cancel), not once per comparison.
+//   - The closure-free ScheduleCall/AtCall forms let hot-path callers
+//     (links, subflows, shapers) schedule events without capturing
+//     anything.
+//   - Reset returns an engine to time zero while keeping the arena and
+//     heap at their grown capacity, and Acquire/Release pool engines so
+//     a sweep of thousands of simulation cells re-grows these structures
+//     once per worker instead of once per cell.
+//
+// Once the arena and heap have grown to a simulation's working set,
+// scheduling, firing and cancelling timers perform zero heap
+// allocations — the AllocsPerRun regression tests in this package and in
+// netsim/tcp pin that at ~0 allocations per packet.
 package sim
 
 import (
@@ -53,7 +68,7 @@ func (t Timer) At() Time {
 	if !t.Active() {
 		return 0
 	}
-	return t.e.arena[t.slot].at
+	return t.e.heap[t.e.arena[t.slot].pos].at
 }
 
 // Cancel removes the timer from the queue eagerly, so cancelled events
@@ -73,31 +88,50 @@ func (t Timer) Cancel() {
 	e.freeSlot(t.slot)
 }
 
-// slot is one arena entry. While scheduled, pos is the timer's index in
-// the heap; while free, pos chains the free list.
+// slot is one arena entry: just the callback and the bookkeeping that
+// ties it to the heap. The ordering key lives in the heap entry itself,
+// not here. While scheduled, pos is the timer's index in the heap; while
+// free, pos chains the free list.
 type slot struct {
-	at  Time
-	seq uint64
 	fn  func(any)
 	arg any
 	gen uint32
 	pos int32
 }
 
+// heapEnt is one event-queue entry: the full ordering key packed next to
+// the arena slot index. less never touches the arena — comparisons stay
+// inside the contiguous heap slice.
+type heapEnt struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// less orders entries by (at, seq): earliest first, scheduling order
+// breaking ties — the determinism invariant every model relies on.
+func less(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // Engine is a discrete-event scheduler over virtual time.
 //
-// The zero value is not usable; construct with New. Engines are not safe
-// for concurrent use: simulations are single-goroutine by design, which is
-// what makes them reproducible.
+// The zero value is not usable; construct with New (or Acquire, which
+// reuses a pooled engine). Engines are not safe for concurrent use:
+// simulations are single-goroutine by design, which is what makes them
+// reproducible.
 type Engine struct {
 	now      Time
 	arena    []slot
 	freeHead int32
-	// heap is a 4-ary min-heap of arena indices ordered by (at, seq).
-	// 4-ary beats binary here: sift-down does 3 extra comparisons per
-	// level but halves the levels, and the shallow tree keeps the hot
-	// top-of-heap entries in one cache line of indices.
-	heap    []int32
+	// heap is a 4-ary min-heap of key-packed entries ordered by
+	// (at, seq). 4-ary beats binary here: sift-down does 3 extra
+	// comparisons per level but halves the levels, and with 24-byte
+	// entries the four children of a node share two cache lines.
+	heap    []heapEnt
 	seq     uint64
 	stopped bool
 	// processed counts events that have been executed.
@@ -107,6 +141,31 @@ type Engine struct {
 // New returns an empty Engine positioned at time 0.
 func New() *Engine {
 	return &Engine{freeHead: noSlot}
+}
+
+// Reset returns the engine to virtual time zero with an empty queue,
+// retaining the arena and heap at their grown capacity so the next
+// simulation starts with a warm working set. Every outstanding Timer
+// handle is invalidated (their generation is bumped) and every pending
+// callback reference is dropped, so the previous simulation's object
+// graph becomes collectable even while the engine sits in a pool.
+func (e *Engine) Reset() {
+	for i := range e.arena {
+		s := &e.arena[i]
+		s.gen++
+		s.fn = nil
+		s.arg = nil
+		s.pos = int32(i) - 1 // chain the free list through all slots
+	}
+	e.freeHead = noSlot
+	if n := len(e.arena); n > 0 {
+		e.freeHead = int32(n - 1)
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.stopped = false
 }
 
 // Now returns the current virtual time.
@@ -209,11 +268,9 @@ func (e *Engine) scheduleSeq(t Time, seq uint64, fn func(any), arg any) Timer {
 	}
 	si := e.allocSlot()
 	s := &e.arena[si]
-	s.at = t
-	s.seq = seq
 	s.fn = fn
 	s.arg = arg
-	e.heap = append(e.heap, si)
+	e.heap = append(e.heap, heapEnt{at: t, seq: seq, slot: si})
 	e.siftUp(len(e.heap) - 1)
 	return Timer{e: e, slot: si, gen: s.gen}
 }
@@ -230,13 +287,14 @@ func (e *Engine) allocSlot() int32 {
 }
 
 // freeSlot retires a fired or cancelled slot: the generation bump
-// invalidates outstanding handles, and clearing fn/arg releases whatever
-// the event referenced.
+// invalidates outstanding handles. fn/arg are deliberately left in
+// place — nil-ing them costs three write-barriered stores on every
+// event pop and cancel, and the references they pin (model objects that
+// live for the whole simulation anyway) die at the latest when Reset
+// clears the arena before the engine is pooled.
 func (e *Engine) freeSlot(si int32) {
 	s := &e.arena[si]
 	s.gen++
-	s.fn = nil
-	s.arg = nil
 	s.pos = e.freeHead
 	e.freeHead = si
 }
@@ -251,19 +309,19 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	si := e.heap[0]
-	s := &e.arena[si]
-	if s.at < e.now {
-		panic(fmt.Sprintf("sim: time went backwards: %v < %v", s.at, e.now))
+	ent := e.heap[0]
+	if ent.at < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ent.at, e.now))
 	}
-	e.now = s.at
+	e.now = ent.at
 	e.processed++
+	s := &e.arena[ent.slot]
 	fn, arg := s.fn, s.arg
 	// Retire the slot before running the callback so the event can
 	// reschedule (reusing this very slot) and so its own handle is
 	// already stale inside the callback.
 	e.heapRemove(0)
-	e.freeSlot(si)
+	e.freeSlot(ent.slot)
 	fn(arg)
 	return true
 }
@@ -280,7 +338,7 @@ func (e *Engine) Run() {
 // after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 && e.arena[e.heap[0]].at <= deadline {
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -288,32 +346,23 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// less orders heap entries by (at, seq): earliest first, scheduling order
-// breaking ties — the determinism invariant every model relies on.
-func (e *Engine) less(a, b int32) bool {
-	sa, sb := &e.arena[a], &e.arena[b]
-	if sa.at != sb.at {
-		return sa.at < sb.at
-	}
-	return sa.seq < sb.seq
-}
-
 // siftUp restores heap order for the entry at heap index i, moving it
-// toward the root.
+// toward the root. The arena is written once per moved entry (its heap
+// position, for eager Cancel); comparisons never leave the heap slice.
 func (e *Engine) siftUp(i int) {
 	h := e.heap
-	si := h[i]
+	ent := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !e.less(si, h[p]) {
+		if !less(ent, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		e.arena[h[i]].pos = int32(i)
+		e.arena[h[i].slot].pos = int32(i)
 		i = p
 	}
-	h[i] = si
-	e.arena[si].pos = int32(i)
+	h[i] = ent
+	e.arena[ent.slot].pos = int32(i)
 }
 
 // siftDown restores heap order for the entry at heap index i, moving it
@@ -321,7 +370,7 @@ func (e *Engine) siftUp(i int) {
 func (e *Engine) siftDown(i int) {
 	h := e.heap
 	n := len(h)
-	si := h[i]
+	ent := h[i]
 	for {
 		c := i<<2 + 1
 		if c >= n {
@@ -333,19 +382,19 @@ func (e *Engine) siftDown(i int) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if e.less(h[j], h[best]) {
+			if less(h[j], h[best]) {
 				best = j
 			}
 		}
-		if !e.less(h[best], si) {
+		if !less(h[best], ent) {
 			break
 		}
 		h[i] = h[best]
-		e.arena[h[i]].pos = int32(i)
+		e.arena[h[i].slot].pos = int32(i)
 		i = best
 	}
-	h[i] = si
-	e.arena[si].pos = int32(i)
+	h[i] = ent
+	e.arena[ent.slot].pos = int32(i)
 }
 
 // heapRemove deletes the entry at heap index i in O(log n), the operation
@@ -359,8 +408,8 @@ func (e *Engine) heapRemove(i int) {
 		return
 	}
 	h[i] = last
-	e.arena[last].pos = int32(i)
-	if i > 0 && e.less(last, h[(i-1)>>2]) {
+	e.arena[last.slot].pos = int32(i)
+	if i > 0 && less(last, h[(i-1)>>2]) {
 		e.siftUp(i)
 	} else {
 		e.siftDown(i)

@@ -13,7 +13,7 @@ import (
 // everything and advertises an unbounded window.
 type benchSink struct{}
 
-func (benchSink) OnData(p netsim.Packet) (int64, int64) {
+func (benchSink) OnData(p *netsim.Packet) (int64, int64) {
 	return p.DSN + int64(p.PayloadLen), 1 << 40
 }
 func (benchSink) Snapshot() (int64, int64) { return 0, 1 << 40 }

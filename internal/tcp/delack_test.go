@@ -60,8 +60,8 @@ func TestDelayedAckTimerFliesSolo(t *testing.T) {
 	rx := NewSubflowRecv(eng, path, &bigWindowSink{}, 60)
 	rx.DelayedAcks = true
 	path.SetForwardReceiver(rx.OnPacket)
-	path.SetReverseReceiver(func(p netsim.Packet) { acks = append(acks, p) })
-	rx.OnPacket(netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 0, DSN: 0, PayloadLen: 1400})
+	path.SetReverseReceiver(func(p *netsim.Packet) { acks = append(acks, *p) })
+	rx.OnPacket(&netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 0, DSN: 0, PayloadLen: 1400})
 	eng.Run()
 	if len(acks) != 1 {
 		t.Fatalf("acks = %d, want 1 (timer-driven)", len(acks))
@@ -83,9 +83,9 @@ func TestDelayedAcksImmediateOnOutOfOrder(t *testing.T) {
 	rx := NewSubflowRecv(eng, path, &bigWindowSink{}, 60)
 	rx.DelayedAcks = true
 	path.SetForwardReceiver(rx.OnPacket)
-	path.SetReverseReceiver(func(p netsim.Packet) { acks = append(acks, p) })
+	path.SetReverseReceiver(func(p *netsim.Packet) { acks = append(acks, *p) })
 	// Hole at 0: seq 1400 arrives first.
-	rx.OnPacket(netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 1400, DSN: 1400, PayloadLen: 1400})
+	rx.OnPacket(&netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 1400, DSN: 1400, PayloadLen: 1400})
 	if len(acks) != 0 {
 		eng.Step()
 	}

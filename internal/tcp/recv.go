@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -11,7 +12,7 @@ import (
 // into. It returns the piggyback fields for the outgoing ACK: the
 // cumulative data-level acknowledgement and the advertised receive window.
 type MetaSink interface {
-	OnData(p netsim.Packet) (dataAck, window int64)
+	OnData(p *netsim.Packet) (dataAck, window int64)
 	// Snapshot returns the current piggyback fields without consuming a
 	// packet (delayed ACKs read it when their timer fires).
 	Snapshot() (dataAck, window int64)
@@ -29,7 +30,10 @@ type SubflowRecv struct {
 	ackBytes int
 
 	expected int64
-	buffered map[int64]int // subflow seq -> length
+	// buffered holds the out-of-order segments as a seq-ordered ring
+	// sliding with the cumulative ACK point — no per-packet map hashing;
+	// the in-order common case never touches it.
+	buffered ring.Reorder[struct{}]
 
 	// DelayedAcks enables RFC 1122-style ACK coalescing: in-order
 	// arrivals are acknowledged every second segment or after 40 ms,
@@ -45,6 +49,12 @@ type SubflowRecv struct {
 	delayTimer  sim.Timer
 	acksSent    int64
 	acksDelayed int64
+
+	// ackScratch is the outgoing ACK under construction. sendAck
+	// overwrites every ACK field on each send and never touches the
+	// data fields (they stay zero), so reusing one struct avoids
+	// building and copying a ~100-byte literal per ACK.
+	ackScratch netsim.Packet
 
 	// stats
 	received   int64
@@ -63,7 +73,6 @@ func NewSubflowRecv(eng *sim.Engine, path *netsim.Path, meta MetaSink, ackBytes 
 		path:     path,
 		meta:     meta,
 		ackBytes: ackBytes,
-		buffered: make(map[int64]int),
 	}
 }
 
@@ -85,35 +94,38 @@ func (r *SubflowRecv) AcksDelayed() int64 { return r.acksDelayed }
 
 // OnPacket handles one arriving data packet and emits (or schedules) an
 // ACK.
-func (r *SubflowRecv) OnPacket(p netsim.Packet) {
+func (r *SubflowRecv) OnPacket(p *netsim.Packet) {
 	if p.Kind != netsim.Data {
 		return
 	}
 	r.received++
 	inOrder := p.Seq == r.expected
-	if p.Seq >= r.expected {
-		if _, dup := r.buffered[p.Seq]; dup {
+	switch {
+	case inOrder:
+		// The buffered block never contains the expected seq (the drain
+		// below always consumes it), so an in-order arrival is never a
+		// duplicate: advance directly and drain any adjacent segments.
+		r.expected += int64(p.PayloadLen)
+		for {
+			l, _, ok := r.buffered.PopAt(r.expected)
+			if !ok {
+				break
+			}
+			r.expected += int64(l)
+		}
+	case p.Seq > r.expected:
+		if !r.buffered.Insert(p.Seq, p.PayloadLen, struct{}{}) {
 			r.duplicates++
-		} else {
-			r.buffered[p.Seq] = p.PayloadLen
 		}
-	} else {
+	default:
 		r.duplicates++
-	}
-	for {
-		l, ok := r.buffered[r.expected]
-		if !ok {
-			break
-		}
-		delete(r.buffered, r.expected)
-		r.expected += int64(l)
 	}
 	dataAck, window := r.meta.OnData(p)
 
-	if r.DelayedAcks && inOrder && len(r.buffered) == 0 && !r.pendingAck {
+	if r.DelayedAcks && inOrder && r.buffered.Len() == 0 && !r.pendingAck {
 		// First of a potential pair: hold the ACK briefly.
 		r.pendingAck = true
-		r.pendingPkt = p
+		r.pendingPkt = *p
 		r.acksDelayed++
 		r.delayTimer = r.eng.ScheduleCall(40*time.Millisecond, flushDelayedAck, r)
 		return
@@ -140,22 +152,22 @@ func (r *SubflowRecv) flushPending() {
 	p := r.pendingPkt
 	r.cancelPending()
 	dataAck, window := r.meta.Snapshot()
-	r.sendAck(p, dataAck, window)
+	r.sendAck(&p, dataAck, window)
 }
 
 // sendAck emits one cumulative acknowledgement.
-func (r *SubflowRecv) sendAck(p netsim.Packet, dataAck, window int64) {
+func (r *SubflowRecv) sendAck(p *netsim.Packet, dataAck, window int64) {
 	r.acksSent++
-	r.path.Reverse().Send(netsim.Packet{
-		Kind:           netsim.Ack,
-		Size:           r.ackBytes,
-		ConnID:         p.ConnID,
-		SubflowID:      p.SubflowID,
-		AckSeq:         r.expected,
-		DataAck:        dataAck,
-		Window:         window,
-		EchoSentAt:     p.SentAt,
-		EchoRetransmit: p.Retransmit,
-		SackHole:       len(r.buffered) > 0,
-	})
+	ack := &r.ackScratch
+	ack.Kind = netsim.Ack
+	ack.Size = r.ackBytes
+	ack.ConnID = p.ConnID
+	ack.SubflowID = p.SubflowID
+	ack.AckSeq = r.expected
+	ack.DataAck = dataAck
+	ack.Window = window
+	ack.EchoSentAt = p.SentAt
+	ack.EchoRetransmit = p.Retransmit
+	ack.SackHole = r.buffered.Len() > 0
+	r.path.Reverse().Send(ack)
 }

@@ -142,6 +142,11 @@ type Subflow struct {
 
 	lastSendTime sim.Time
 	everSent     bool
+	// pktScratch is the outgoing packet under construction. transmit
+	// overwrites every data field on each send and never touches the
+	// ACK fields (they stay zero), so reusing one struct avoids
+	// building and copying a ~100-byte literal per transmission.
+	pktScratch netsim.Packet
 	// idleBaseCwnd snapshots the window at the start of an idle period so
 	// repeated PrepareSend calls decay idempotently from the same base as
 	// the idle time grows (the kernel computes the decay once, at the
@@ -411,17 +416,16 @@ func (s *Subflow) transmit(seg *segment) {
 	s.idleBaseCwnd = 0
 	s.idleCounted = false
 	s.stats.SegmentsSent++
-	pkt := netsim.Packet{
-		Kind:       netsim.Data,
-		Size:       seg.length + s.cfg.HeaderBytes,
-		ConnID:     s.cfg.ConnID,
-		SubflowID:  s.cfg.ID,
-		Seq:        seg.seq,
-		DSN:        seg.dsn,
-		PayloadLen: seg.length,
-		SentAt:     now,
-		Retransmit: seg.rtx > 0,
-	}
+	pkt := &s.pktScratch
+	pkt.Kind = netsim.Data
+	pkt.Size = seg.length + s.cfg.HeaderBytes
+	pkt.ConnID = s.cfg.ConnID
+	pkt.SubflowID = s.cfg.ID
+	pkt.Seq = seg.seq
+	pkt.DSN = seg.dsn
+	pkt.PayloadLen = seg.length
+	pkt.SentAt = now
+	pkt.Retransmit = seg.rtx > 0
 	// A full drop-tail queue silently discards; recovery comes from
 	// dup-ACKs or the RTO, like on a real path.
 	s.path.Forward().Send(pkt)
@@ -473,7 +477,7 @@ func (s *Subflow) onRTO() {
 }
 
 // OnAck processes one ACK packet from the receiver.
-func (s *Subflow) OnAck(p netsim.Packet) {
+func (s *Subflow) OnAck(p *netsim.Packet) {
 	if p.Kind != netsim.Ack {
 		panic("tcp: OnAck on non-ack packet")
 	}
@@ -493,7 +497,7 @@ func (s *Subflow) OnAck(p netsim.Packet) {
 	}
 }
 
-func (s *Subflow) processNewAck(p netsim.Packet) {
+func (s *Subflow) processNewAck(p *netsim.Packet) {
 	// Segments are contiguous in sequence space, so the fully-acked set
 	// is exactly a prefix of the seq-ordered ring.
 	acked := 0

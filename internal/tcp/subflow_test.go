@@ -12,7 +12,7 @@ import (
 // bigWindowSink is a MetaSink that never limits the sender.
 type bigWindowSink struct{ dataAck int64 }
 
-func (m *bigWindowSink) OnData(p netsim.Packet) (int64, int64) {
+func (m *bigWindowSink) OnData(p *netsim.Packet) (int64, int64) {
 	if end := p.DSN + int64(p.PayloadLen); end > m.dataAck {
 		m.dataAck = end
 	}
@@ -270,9 +270,9 @@ func TestSubflowRecvOutOfOrderBuffering(t *testing.T) {
 	path := netsim.NewPath(eng, netsim.PathConfig{Name: "p", RateBps: 1e9})
 	var acks []netsim.Packet
 	rx := NewSubflowRecv(eng, path, &bigWindowSink{}, 60)
-	path.SetReverseReceiver(func(p netsim.Packet) { acks = append(acks, p) })
+	path.SetReverseReceiver(func(p *netsim.Packet) { acks = append(acks, *p) })
 	// Deliver seq 1400 before seq 0.
-	rx.OnPacket(netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 1400, DSN: 1400, PayloadLen: 1400})
+	rx.OnPacket(&netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 1400, DSN: 1400, PayloadLen: 1400})
 	eng.Run()
 	if rx.Expected() != 0 {
 		t.Fatalf("expected = %d, want 0 (hole at front)", rx.Expected())
@@ -280,7 +280,7 @@ func TestSubflowRecvOutOfOrderBuffering(t *testing.T) {
 	if len(acks) != 1 || !acks[0].SackHole || acks[0].AckSeq != 0 {
 		t.Fatalf("first ack = %+v, want dup-ack with hole", acks[0])
 	}
-	rx.OnPacket(netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 0, DSN: 0, PayloadLen: 1400})
+	rx.OnPacket(&netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 0, DSN: 0, PayloadLen: 1400})
 	eng.Run()
 	if rx.Expected() != 2800 {
 		t.Fatalf("expected = %d after filling hole, want 2800", rx.Expected())
@@ -294,10 +294,10 @@ func TestSubflowRecvCountsDuplicates(t *testing.T) {
 	eng := sim.New()
 	path := netsim.NewPath(eng, netsim.PathConfig{Name: "p", RateBps: 1e9})
 	rx := NewSubflowRecv(eng, path, &bigWindowSink{}, 60)
-	path.SetReverseReceiver(func(netsim.Packet) {})
+	path.SetReverseReceiver(func(*netsim.Packet) {})
 	pkt := netsim.Packet{Kind: netsim.Data, Size: 1460, Seq: 0, DSN: 0, PayloadLen: 1400}
-	rx.OnPacket(pkt)
-	rx.OnPacket(pkt) // stale duplicate
+	rx.OnPacket(&pkt)
+	rx.OnPacket(&pkt) // stale duplicate
 	if rx.Duplicates() != 1 {
 		t.Fatalf("duplicates = %d, want 1", rx.Duplicates())
 	}
