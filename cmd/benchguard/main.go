@@ -1,13 +1,13 @@
 // Command benchguard turns microbenchmark output into a CI gate: it
 // reads `go test -bench` output on stdin, looks up each guarded
-// benchmark's pinned ceiling in the committed BENCH_pr4.json, and exits
+// benchmark's pinned ceiling in the committed BENCH_pr5.json, and exits
 // non-zero when ns/op or allocs/op regresses past the slack factor.
 //
 // Usage (as the bench-smoke CI job does):
 //
 //	go test -run xxx -bench 'EngineScheduleRun$|LinkSend$|SubflowTransfer$' \
 //	    -benchmem ./internal/sim ./internal/netsim ./internal/tcp \
-//	  | benchguard -baseline BENCH_pr4.json
+//	  | benchguard -baseline BENCH_pr5.json
 //
 // Every benchmark named in the baseline's guard_ceilings section must
 // appear in the input — a benchmark that silently stops running would
@@ -30,7 +30,7 @@ type ceiling struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// baseline is the slice of BENCH_pr4.json this tool reads; the rest of
+// baseline is the slice of BENCH_pr5.json this tool reads; the rest of
 // the file (narrative before/after numbers) is for humans.
 type baseline struct {
 	GuardCeilings map[string]ceiling `json:"guard_ceilings"`
@@ -76,7 +76,7 @@ func parseBenchLine(line string) (string, measurement, bool) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr4.json", "baseline JSON with a guard_ceilings section")
+	baselinePath := flag.String("baseline", "BENCH_pr5.json", "baseline JSON with a guard_ceilings section")
 	slack := flag.Float64("slack", 1.25, "allowed regression factor over the pinned ceilings")
 	flag.Parse()
 

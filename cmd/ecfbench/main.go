@@ -12,6 +12,7 @@
 //	ecfbench -cache-dir cache -cache-stats        # audit what occupies the store
 //	ecfbench -cache-dir cache -cache-prune -dry-run  # preview stale-group cleanup
 //	ecfbench -cache-dir cache -cache-prune        # delete groups no current run reads
+//	ecfbench -cache-dir cache -cache-prune -older-than 720h  # also age out in-matrix records
 //	ecfbench -exp fig9 -cpuprofile cpu.pprof      # profile a run (also -memprofile)
 //
 // Each experiment prints the same rows/series the paper reports (see
@@ -166,9 +167,11 @@ func runExperiment(e experiment, sc experiments.Scale) (out fmt.Stringer, err er
 // cachePrune implements -cache-prune: enumerate the active matrix (the
 // record groups a full catalog run at the given scale would read) by
 // driving every driver through an enumerating session — no simulation,
-// no store reads — then delete the store's other groups. The audit half
-// of this lifecycle is -cache-stats.
-func cachePrune(cacheDir string, sc experiments.Scale, dryRun bool) {
+// no store reads — then delete the store's other groups. With
+// -older-than it additionally drops records inside the active matrix
+// that have not been rewritten within the given age. The audit half of
+// this lifecycle is -cache-stats.
+func cachePrune(cacheDir string, sc experiments.Scale, olderThan time.Duration, dryRun bool) {
 	open := results.Open
 	if dryRun {
 		open = results.OpenRead // a preview must work on read-only stores
@@ -181,7 +184,11 @@ func cachePrune(cacheDir string, sc experiments.Scale, dryRun bool) {
 	for _, g := range experiments.EnumerateActive(sc) {
 		keep[g] = true
 	}
-	rep, err := store.Prune(func(g results.Group) bool { return keep[g] }, dryRun)
+	rep, err := store.Prune(results.PruneOptions{
+		Keep:      func(g results.Group) bool { return keep[g] },
+		OlderThan: olderThan,
+		DryRun:    dryRun,
+	})
 	if err != nil {
 		fail("pruning %s: %v", cacheDir, err)
 	}
@@ -189,18 +196,28 @@ func cachePrune(cacheDir string, sc experiments.Scale, dryRun bool) {
 	if dryRun {
 		verb = "would delete"
 	}
-	if len(rep.Deleted) == 0 {
+	if len(rep.Deleted) == 0 && len(rep.Aged) == 0 {
 		fmt.Printf("cache dir %s: nothing to prune (%d records in the active matrix)\n", cacheDir, rep.KeptRecords)
 		return
 	}
-	fmt.Printf("cache dir %s: %s %d records (%d bytes) outside the active matrix:\n",
-		cacheDir, verb, rep.DeletedRecords(), rep.DeletedBytes())
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "EXPERIMENT\tSCALE\tSCHEMA\tRECORDS\tBYTES")
-	for _, line := range rep.Deleted {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n", line.Experiment, line.Scale, line.Schema, line.Records, line.Bytes)
+	printGroups := func(lines []results.AuditLine) {
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "EXPERIMENT\tSCALE\tSCHEMA\tRECORDS\tBYTES")
+		for _, line := range lines {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\n", line.Experiment, line.Scale, line.Schema, line.Records, line.Bytes)
+		}
+		w.Flush()
 	}
-	w.Flush()
+	if len(rep.Deleted) > 0 {
+		fmt.Printf("cache dir %s: %s %d records (%d bytes) outside the active matrix:\n",
+			cacheDir, verb, rep.DeletedRecords(), rep.DeletedBytes())
+		printGroups(rep.Deleted)
+	}
+	if len(rep.Aged) > 0 {
+		fmt.Printf("cache dir %s: %s %d records (%d bytes) older than %v inside the active matrix:\n",
+			cacheDir, verb, rep.AgedRecords(), rep.AgedBytes(), olderThan)
+		printGroups(rep.Aged)
+	}
 	fmt.Printf("kept: %d records, %d bytes", rep.KeptRecords, rep.KeptBytes)
 	if rep.Unreadable > 0 {
 		fmt.Printf(", %d unreadable files left in place", rep.Unreadable)
@@ -280,19 +297,20 @@ func cacheLine(hits, computed int64) string {
 
 func main() {
 	var (
-		expName  = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
-		scale    = flag.String("scale", "full", "scale profile: full or quick")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		jobs     = flag.Int("j", 0, "worker count for the simulation matrix (0 = GOMAXPROCS); results are identical for any value")
-		cacheDir = flag.String("cache-dir", "", "persist per-cell results under this directory (created if missing); reruns serve unchanged cells from it")
-		shardStr = flag.String("shard", "", "run only cells with index%n == i, given as \"i/n\" (requires -cache-dir; join shards with -merge)")
-		merge    = flag.Bool("merge", false, "assemble the report purely from cached records, simulating nothing (requires -cache-dir)")
-		noCache  = flag.Bool("no-cache", false, "ignore -cache-dir: compute every cell, neither reading nor writing the store")
-		stats    = flag.Bool("cache-stats", false, "audit -cache-dir: list experiments/scales/schema versions occupying the store, then exit")
-		prune    = flag.Bool("cache-prune", false, "delete record groups in -cache-dir that a full catalog run at the given -scale would no longer read, then exit")
-		dryRun   = flag.Bool("dry-run", false, "with -cache-prune: report what would be deleted without removing anything")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		expName   = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
+		scale     = flag.String("scale", "full", "scale profile: full or quick")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		jobs      = flag.Int("j", 0, "worker count for the simulation matrix (0 = GOMAXPROCS); results are identical for any value")
+		cacheDir  = flag.String("cache-dir", "", "persist per-cell results under this directory (created if missing); reruns serve unchanged cells from it")
+		shardStr  = flag.String("shard", "", "run only cells with index%n == i, given as \"i/n\" (requires -cache-dir; join shards with -merge)")
+		merge     = flag.Bool("merge", false, "assemble the report purely from cached records, simulating nothing (requires -cache-dir)")
+		noCache   = flag.Bool("no-cache", false, "ignore -cache-dir: compute every cell, neither reading nor writing the store")
+		stats     = flag.Bool("cache-stats", false, "audit -cache-dir: list experiments/scales/schema versions occupying the store, then exit")
+		prune     = flag.Bool("cache-prune", false, "delete record groups in -cache-dir that a full catalog run at the given -scale would no longer read, then exit")
+		olderThan = flag.Duration("older-than", 0, "with -cache-prune: also delete records inside the active matrix not rewritten within this age (e.g. 720h)")
+		dryRun    = flag.Bool("dry-run", false, "with -cache-prune: report what would be deleted without removing anything")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -309,6 +327,12 @@ func main() {
 	if *dryRun && !*prune {
 		failUsage("-dry-run only applies to -cache-prune")
 	}
+	if *olderThan != 0 && !*prune {
+		failUsage("-older-than only applies to -cache-prune")
+	}
+	if *olderThan < 0 {
+		failUsage("-older-than must be a positive duration")
+	}
 	if *prune {
 		if *cacheDir == "" {
 			failUsage("-cache-prune requires -cache-dir (it prunes the store)")
@@ -320,7 +344,7 @@ func main() {
 		if !ok {
 			failUsage("unknown scale %q (full|quick)", *scale)
 		}
-		cachePrune(*cacheDir, sc, *dryRun)
+		cachePrune(*cacheDir, sc, *olderThan, *dryRun)
 		return
 	}
 	stopProfiles := profiling(*cpuProf, *memProf)

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// cellAllocBudget bounds the per-cell allocation count on a warm pooled
+// worker. The graph itself (engine, links, demuxes, connection,
+// subflows, segments, transfers, scheduler, controller, telemetry
+// series) must be fully reused — measured steady state is exactly 0
+// mallocs per cell; the budget only absorbs incidental runtime noise,
+// not per-packet or per-transfer work, which numbers in the tens of
+// thousands for this cell when pooling is broken.
+const cellAllocBudget = 8
+
+// TestSteadyStateAllocsPerCell pins the tentpole invariant of the
+// pooled per-cell object graph: after the first iteration has grown
+// every pool to the cell's working set, re-running the same cell on the
+// same worker allocates (approximately) nothing. The minimum across
+// iterations is asserted rather than the mean because a GC between
+// cells may legitimately drop sync.Pool contents and force a one-off
+// re-grow; a missed Reset-reuse path shows up in every iteration and
+// cannot hide in the minimum.
+func TestSteadyStateAllocsPerCell(t *testing.T) {
+	runCell := func() {
+		net := NewNetwork(DefaultPaths(5, 5))
+		conn := net.NewConn(ConnOptions{Scheduler: "ecf"})
+		for i := 0; i < 4; i++ {
+			conn.Write(256<<10, nil)
+		}
+		net.Run(30 * time.Second)
+		if conn.Receiver().DeliveredBytes() == 0 {
+			t.Fatal("cell transferred nothing; the measurement is vacuous")
+		}
+		net.Close()
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1)) // keep one P so the net pool's per-P cache is hit
+	runCell()                                       // grow every pool to the working set
+
+	var m0, m1 runtime.MemStats
+	best := ^uint64(0)
+	for i := 0; i < 8; i++ {
+		runtime.ReadMemStats(&m0)
+		runCell()
+		runtime.ReadMemStats(&m1)
+		if d := m1.Mallocs - m0.Mallocs; d < best {
+			best = d
+		}
+	}
+	if best > cellAllocBudget {
+		t.Errorf("warm pooled worker allocates %d objects per cell, want <= %d (a Reset path stopped reusing its pooled state)",
+			best, cellAllocBudget)
+	}
+}

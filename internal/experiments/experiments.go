@@ -142,7 +142,11 @@ type StreamOutcome struct {
 	// (Table 3); FastIWResets counts only the fast path's.
 	IWResets     int64
 	FastIWResets int64
-	// OOODelays are the receiver's reordering samples.
+	// OOODelays are the receiver's reordering samples, copied into a
+	// caller-owned buffer drawn from the metrics sample pool before the
+	// network is closed (the receiver's own series is reused by the
+	// next cell). Hand the buffer back with Release once the samples
+	// are consumed.
 	OOODelays []time.Duration
 	// CwndTraces/SndbufTraces hold one series per subflow when sampling
 	// was enabled (Figures 3, 11, 12).
@@ -150,6 +154,16 @@ type StreamOutcome struct {
 	SndbufTraces []*metrics.TimeSeries
 	// SubflowNames labels the traces.
 	SubflowNames []string
+}
+
+// Release hands the outcome's pooled telemetry buffers back to the
+// metrics sample pool. Call it when the outcome's samples have been
+// consumed (summarized, converted, rendered); the outcome must not be
+// used afterwards. Dropping an outcome without releasing it is safe —
+// the buffers are then simply collected instead of reused.
+func (o *StreamOutcome) Release() {
+	metrics.PutDurations(o.OOODelays)
+	o.OOODelays = nil
 }
 
 // fastPathIndex returns which path is "fast" per the paper's definition:
@@ -258,7 +272,10 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 			out.FastIWResets += st.IWResets
 		}
 	}
-	out.OOODelays = conn.Receiver().OOODelays()
+	// Copy the reordering samples out of the pooled receiver: once the
+	// deferred Close runs, the receiver (and its series) belongs to the
+	// pool and may be reset by another cell.
+	out.OOODelays = metrics.CopyDurations(conn.Receiver().OOODelays())
 	return out
 }
 

@@ -72,6 +72,7 @@ func addGrid(b *results.Batch, scheduler string, sc Scale, disableIdleRestart bo
 				VideoSec:           sc.GridVideoSec,
 				DisableIdleRestart: disableIdleRestart,
 			})
+			defer out.Release()
 			ideal := dash.IdealBitrateMbps(wifi+lte, dash.StandardLadder)
 			cell := GridCell{
 				WifiMbps:            wifi,
@@ -313,6 +314,7 @@ func Figure15(sc Scale) *Figure15Result {
 				VideoSec:        sc.GridVideoSec,
 				SubflowsPerPath: 2,
 			})
+			defer out.Release()
 			ratio := out.Result.AvgBitrateMbps() / ideal
 			if ratio > 1 {
 				ratio = 1

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mptcp"
+	"repro/internal/trace"
+	"repro/internal/web"
+)
+
+// The pooled-network contract: a simulation cell's results depend only
+// on its own parameters, never on what previously ran on the worker's
+// pooled object graph. These tests run a reference cell per scheduler,
+// then interleave deliberately dissimilar "polluter" cells — different
+// topology shapes, connection counts, subflow fan-outs, congestion
+// controllers, loss and jitter — and require the reference results to
+// stay byte-identical. A Reset that misses a field (a stale hysteresis
+// flag, a leftover telemetry sample, an un-cleared window) shows up
+// here as a drifted fingerprint. The golden fig9 hash test additionally
+// pins pooled output against the pre-pooling (fresh-construction)
+// capture, so repetition-invariance here plus the golden hash together
+// give pooled == fresh.
+
+// isolationFingerprint runs one small streaming cell and renders every
+// outcome channel — per-chunk records, reorder telemetry, counters —
+// into a string suitable for exact comparison.
+func isolationFingerprint(scheduler string) string {
+	out := RunStreaming(StreamConfig{
+		WifiMbps:  0.7,
+		LteMbps:   4.2,
+		Scheduler: scheduler,
+		VideoSec:  12,
+	})
+	defer out.Release()
+	var b strings.Builder
+	fmt.Fprintf(&b, "fast=%.12f ideal=%.12f iw=%d fiw=%d fin=%v\n",
+		out.FastFraction, out.IdealFraction, out.IWResets, out.FastIWResets, out.Finished)
+	for _, c := range out.Result.Chunks {
+		fmt.Fprintf(&b, "chunk %d rep=%s req=%d done=%d tp=%.9f diff=%d both=%v\n",
+			c.Index, c.Rep.Name, c.RequestedAt, c.CompletedAt, c.ThroughputMbps, c.LastPacketDiff, c.BothPaths)
+	}
+	for _, d := range out.OOODelays {
+		fmt.Fprintf(&b, "%d,", d)
+	}
+	return b.String()
+}
+
+// polluters are cells chosen to stress every reset path with state as
+// unlike the reference cell as possible.
+var polluters = []struct {
+	name string
+	run  func()
+}{
+	{"six-conn lossy page fetch", func() {
+		net := core.NewNetwork([]core.PathSpec{
+			{Name: "wifi", RateMbps: 2, BaseRTT: core.WiFiBaseRTT, LossRate: 0.01, Seed: 7},
+			{Name: "lte", RateMbps: 6, BaseRTT: core.LTEBaseRTT, LossRate: 0.002, Seed: 11},
+		})
+		defer net.Close()
+		trace.InstallRTTJitter(net, 0, core.WiFiBaseRTT, 0.5, 200*time.Millisecond, 3, time.Minute)
+		conns := make([]*mptcp.Conn, 6)
+		for i := range conns {
+			conns[i] = net.NewConn(core.ConnOptions{Scheduler: "ecf", CongestionControl: "olia"})
+		}
+		web.FetchPage(net.Engine(), conns, web.PageConfig{
+			Objects:   web.CNNPageObjects(5),
+			ThinkTime: 10 * time.Millisecond,
+		}, nil)
+		net.Run(time.Minute)
+	}},
+	{"three-path round-robin bulk", func() {
+		net := core.NewNetwork([]core.PathSpec{
+			{Name: "a", RateMbps: 1, BaseRTT: 10 * time.Millisecond},
+			{Name: "b", RateMbps: 3, BaseRTT: 150 * time.Millisecond},
+			{Name: "c", RateMbps: 0.5, BaseRTT: 400 * time.Millisecond, LossRate: 0.01, Seed: 2},
+		})
+		defer net.Close()
+		conn := net.NewConn(core.ConnOptions{Scheduler: "roundrobin", CongestionControl: "balia"})
+		conn.Write(3<<20, nil)
+		net.Run(time.Minute)
+	}},
+	{"four-subflow redundant streaming", func() {
+		out := RunStreaming(StreamConfig{
+			WifiMbps:           0.3,
+			LteMbps:            8.6,
+			Scheduler:          "redundant",
+			VideoSec:           8,
+			SubflowsPerPath:    2,
+			DisableIdleRestart: true,
+			CC:                 "reno",
+		})
+		out.Release()
+	}},
+	{"variable-bandwidth daps streaming", func() {
+		changes := trace.RandomScenario(99, 2, 30*time.Second, 5*time.Second, trace.RandomChangeValuesMbps)
+		out := RunStreaming(StreamConfig{
+			WifiMbps:  8.6,
+			LteMbps:   0.3,
+			Scheduler: "daps",
+			VideoSec:  8,
+			PreRun:    func(net *core.Network) { trace.Apply(net, changes) },
+		})
+		out.Release()
+	}},
+}
+
+func TestCrossCellIsolation(t *testing.T) {
+	schedulers := []string{"minrtt", "ecf", "daps", "blest", "redundant", "roundrobin"}
+	base := make(map[string]string, len(schedulers))
+	for _, s := range schedulers {
+		base[s] = isolationFingerprint(s)
+	}
+	for _, p := range polluters {
+		p.run()
+		for _, s := range schedulers {
+			if got := isolationFingerprint(s); got != base[s] {
+				t.Errorf("scheduler %s: cell fingerprint drifted after polluter %q — state leaked across cells through the pool", s, p.name)
+			}
+		}
+	}
+}

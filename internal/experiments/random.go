@@ -44,7 +44,9 @@ func Figure16(sc Scale) *Figure16Result {
 	runCells(sc, sc.spec("fig16", randomSchema, sc.randomKey()), len(schedulers)*sc.RandomScenarios,
 		func(k int) float64 {
 			si, scen := k/sc.RandomScenarios, k%sc.RandomScenarios
-			return runRandomScenario(schedulers[si], scen+1, sc).Result.AvgThroughputMbps()
+			out := runRandomScenario(schedulers[si], scen+1, sc)
+			defer out.Release()
+			return out.Result.AvgThroughputMbps()
 		},
 		func(k int, mbps float64) {
 			si, scen := k/sc.RandomScenarios, k%sc.RandomScenarios
@@ -117,7 +119,9 @@ func Figure17(sc Scale) *Figure17Result {
 	schedulers := []string{"minrtt", "ecf"}
 	runCells(sc, sc.spec("fig17", randomSchema, sc.randomKey()), len(schedulers),
 		func(i int) []float64 {
-			return runRandomScenario(schedulers[i], scen, sc).Result.ChunkThroughputsMbps()
+			out := runRandomScenario(schedulers[i], scen, sc)
+			defer out.Release()
+			return out.Result.ChunkThroughputsMbps()
 		},
 		func(i int, xs []float64) { traces[i] = xs })
 	res.Default, res.ECF = traces[0], traces[1]

@@ -35,6 +35,7 @@ func Figure1(sc Scale) *Figure1Result {
 				Scheduler: "minrtt",
 				VideoSec:  sc.VideoSec,
 			})
+			defer out.Release()
 			cell := &Figure1Result{}
 			for _, p := range out.Result.DownloadTrace {
 				cell.Trace = append(cell.Trace, struct {
@@ -91,6 +92,7 @@ func Figure3(sc Scale) *Figure3Result {
 				VideoSec:       sc.VideoSec,
 				SampleInterval: 100 * time.Millisecond,
 			})
+			defer out.Release()
 			return &Figure3Result{Names: out.SubflowNames, Traces: out.SndbufTraces}
 		},
 		func(_ int, cell *Figure3Result) { *res = *cell })
@@ -162,6 +164,7 @@ func Figure5(sc Scale) *Figure5Result {
 				Scheduler: "minrtt",
 				VideoSec:  sc.VideoSec,
 			})
+			defer out.Release()
 			return metrics.DurationsToSeconds(out.Result.LastPacketDiffs())
 		},
 		func(i int, xs []float64) { res.CDFs[i] = metrics.NewCDF(xs) })
@@ -219,6 +222,7 @@ func cwndTrace(fig string, subflowIdx int, sc Scale) *CwndTraceResult {
 				VideoSec:       sc.VideoSec,
 				SampleInterval: 100 * time.Millisecond,
 			})
+			defer out.Release()
 			return out.CwndTraces[subflowIdx]
 		},
 		func(i int, tr *metrics.TimeSeries) { traces[i] = tr })
@@ -278,6 +282,7 @@ func addOOO(b *results.Batch, label string, wifi, lte float64, schedulers []stri
 				Scheduler: schedulers[i],
 				VideoSec:  sc.VideoSec,
 			})
+			defer out.Release()
 			return metrics.DurationsToSeconds(out.OOODelays)
 		},
 		func(i int, xs []float64) {
@@ -309,6 +314,7 @@ func Figure13(sc Scale) *Figure13Result {
 				Scheduler: "minrtt",
 				VideoSec:  sc.VideoSec,
 			})
+			defer out.Release()
 			return metrics.DurationsToSeconds(out.OOODelays)
 		},
 		func(i int, xs []float64) { res.CDFs[i] = metrics.NewCDF(xs) })

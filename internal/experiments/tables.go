@@ -148,6 +148,7 @@ func Table3(sc Scale) *Table3Result {
 				Scheduler: schedulers[i],
 				VideoSec:  sc.VideoSec,
 			})
+			defer out.Release()
 			return out.IWResets
 		},
 		func(i int, resets int64) { res.IWResets[i] = resets })

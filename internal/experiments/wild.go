@@ -60,7 +60,9 @@ func Figure22(sc Scale) *Figure22Result {
 			if k%2 == 1 {
 				sched = "ecf"
 			}
-			return wildStream(runs[k/2], sched, sc.VideoSec).Result.AvgThroughputMbps()
+			out := wildStream(runs[k/2], sched, sc.VideoSec)
+			defer out.Release()
+			return out.Result.AvgThroughputMbps()
 		},
 		func(k int, mbps float64) {
 			if k%2 == 0 {

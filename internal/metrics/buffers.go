@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample-buffer pool. The experiment drivers copy per-cell telemetry
+// (out-of-order delay samples, per-chunk series) out of pooled
+// simulation objects before the owning network is closed; the copies
+// land in reusable buffers drawn from here, so a sweep worker's
+// telemetry hand-off allocates nothing in steady state. Callers own a
+// buffer from Get until they Put it back (or drop it — an unpooled
+// buffer is merely garbage-collected).
+
+// durBufPool recycles []time.Duration sample buffers.
+var durBufPool = sync.Pool{New: func() any { return new([]time.Duration) }}
+
+// GetDurations returns an empty duration buffer with whatever capacity
+// a previous user grew it to.
+func GetDurations() []time.Duration {
+	return (*durBufPool.Get().(*[]time.Duration))[:0]
+}
+
+// PutDurations recycles buf. The caller must not use buf afterwards.
+func PutDurations(buf []time.Duration) {
+	if buf == nil {
+		return
+	}
+	durBufPool.Put(&buf)
+}
+
+// CopyDurations copies src into a pooled buffer — the idiom for taking
+// ownership of telemetry that lives in pooled simulation objects.
+func CopyDurations(src []time.Duration) []time.Duration {
+	return append(GetDurations(), src...)
+}

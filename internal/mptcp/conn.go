@@ -142,6 +142,17 @@ func (t *Transfer) lastArrival(sf int) (sim.Time, bool) {
 	return t.LastArrival[sf], true
 }
 
+// sfUnit bundles one subflow's sender and receiver halves with the
+// receiver funcs registered in the path demultiplexers. The funcs are
+// method values created once per unit — pooled units re-register the
+// same funcs instead of allocating fresh closures every cell.
+type sfUnit struct {
+	sf      *tcp.Subflow
+	rx      *tcp.SubflowRecv
+	rxRecv  netsim.Receiver // rx.OnPacket
+	ackRecv netsim.Receiver // sf.OnAck
+}
+
 // Conn is an MPTCP connection: several TCP subflows bound to a shared
 // data stream, a scheduler that places segments onto subflows, and a
 // receiver that restores data-level ordering.
@@ -153,6 +164,10 @@ type Conn struct {
 	recv  *Receiver
 
 	subflows []*tcp.Subflow
+	units    []sfUnit // parallel to subflows
+	// freeUnits holds subflow units retired by Reset, reused (sender,
+	// receiver and demux funcs together) by the next cell's AddSubflow.
+	freeUnits []sfUnit
 
 	writeDSN    int64 // next DSN the application will produce
 	unsent      []segRef
@@ -170,6 +185,11 @@ type Conn struct {
 	peerWindow       int64
 
 	transfers []*Transfer // active, DSN-ordered
+	// retired collects completed transfers; freeTransfers feeds Write
+	// and Request. Handles stay valid — fields intact — until the
+	// connection is reset, which moves both lists back into the pool.
+	retired       []*Transfer
+	freeTransfers []*Transfer
 
 	// lastPenalty is indexed by subflow ID (grown in AddSubflow); the
 	// zero value means "never penalized", which the rate-limit check
@@ -187,19 +207,50 @@ type Conn struct {
 // NewConn builds a connection. Subflows are added with AddSubflow; the
 // scheduler is bound with SetScheduler before traffic starts.
 func NewConn(eng *sim.Engine, cfg Config, ctrl cc.Controller) *Conn {
+	c := &Conn{eng: eng, recv: NewReceiver(eng, 0)}
+	c.recv.ArrivalHook = c.attributeArrival
+	c.Reset(cfg, ctrl)
+	return c
+}
+
+// Reset rebinds a pooled connection to a new configuration and
+// congestion controller, restoring the state NewConn would construct.
+// Subflows of the previous run move to an internal free list and are
+// revived by AddSubflow; completed and in-flight transfers return to
+// the transfer pool (their handles become invalid); the receiver,
+// send-buffer and inflight structures keep their grown capacity. The
+// caller must have detached the previous controller (Close) and reset
+// the engine first.
+func (c *Conn) Reset(cfg Config, ctrl cc.Controller) {
 	cfg.fillDefaults()
 	if ctrl == nil {
 		ctrl = cc.NewLIA()
 	}
-	c := &Conn{
-		eng:        eng,
-		cfg:        cfg,
-		ctrl:       ctrl,
-		recv:       NewReceiver(eng, cfg.RcvBuf),
-		peerWindow: cfg.RcvBuf,
-	}
-	c.recv.ArrivalHook = c.attributeArrival
-	return c
+	c.cfg = cfg
+	c.ctrl = ctrl
+	c.sched = nil
+	c.recv.Reset(cfg.RcvBuf)
+	c.freeUnits = append(c.freeUnits, c.units...)
+	c.units = c.units[:0]
+	c.subflows = c.subflows[:0]
+	c.writeDSN = 0
+	c.unsent = c.unsent[:0]
+	c.unsentHead = 0
+	c.unsentBytes = 0
+	c.infHead, c.infTail = 0, 0
+	c.inflightBytes = 0
+	c.dataAcked = 0
+	c.peerWindow = cfg.RcvBuf
+	c.freeTransfers = append(c.freeTransfers, c.retired...)
+	c.retired = c.retired[:0]
+	c.freeTransfers = append(c.freeTransfers, c.transfers...)
+	c.transfers = c.transfers[:0]
+	c.lastPenalty = c.lastPenalty[:0]
+	c.reinjections = 0
+	c.penalties = 0
+	c.windowStalls = 0
+	c.waitDecision = 0
+	c.duplicates = 0
 }
 
 // SetScheduler binds the path scheduler. It must be called before data is
@@ -208,6 +259,10 @@ func (c *Conn) SetScheduler(s Scheduler) { c.sched = s }
 
 // Scheduler returns the bound scheduler.
 func (c *Conn) Scheduler() Scheduler { return c.sched }
+
+// Controller returns the bound congestion controller (pool management:
+// the network recovers it for reuse when the connection is reclaimed).
+func (c *Conn) Controller() cc.Controller { return c.ctrl }
 
 // Receiver returns the connection-level receive side.
 func (c *Conn) Receiver() *Receiver { return c.recv }
@@ -227,10 +282,11 @@ func (c *Conn) MSS() int { return c.cfg.MSS }
 // AddSubflow creates a subflow over path and wires both directions
 // through the given demultiplexers (which must be installed as the
 // path's forward/reverse receivers, possibly shared with other
-// connections).
+// connections). On a pooled connection it revives a retired subflow
+// unit in place instead of allocating one.
 func (c *Conn) AddSubflow(name string, path *netsim.Path, fwd, rev *netsim.Demux) *tcp.Subflow {
 	id := len(c.subflows)
-	sf := tcp.NewSubflow(c.eng, tcp.Config{
+	sfCfg := tcp.Config{
 		ConnID:      c.cfg.ID,
 		ID:          id,
 		Name:        name,
@@ -238,16 +294,28 @@ func (c *Conn) AddSubflow(name string, path *netsim.Path, fwd, rev *netsim.Demux
 		InitialCwnd: c.cfg.InitialCwnd,
 		IdleRestart: c.cfg.IdleRestart,
 		MinRTO:      c.cfg.MinRTO,
-	}, path, c.ctrl, c)
+	}
+	var u sfUnit
+	if n := len(c.freeUnits); n > 0 {
+		u = c.freeUnits[n-1]
+		c.freeUnits = c.freeUnits[:n-1]
+		u.sf.Reset(sfCfg, path, c.ctrl, c)
+		u.rx.Reset(path, c.recv, u.sf.AckPacketSize())
+	} else {
+		u.sf = tcp.NewSubflow(c.eng, sfCfg, path, c.ctrl, c)
+		u.rx = tcp.NewSubflowRecv(c.eng, path, c.recv, u.sf.AckPacketSize())
+		u.rxRecv = u.rx.OnPacket
+		u.ackRecv = u.sf.OnAck
+	}
 	// Seed the RTT estimate with the zero-load path RTT, as a kernel
 	// obtains one sample from the SYN/SYN-ACK exchange at subflow setup.
-	sf.SeedRTT(path.BaseRTT())
-	rx := tcp.NewSubflowRecv(c.eng, path, c.recv, sf.AckPacketSize())
-	fwd.Register(c.cfg.ID, id, rx.OnPacket)
-	rev.Register(c.cfg.ID, id, sf.OnAck)
-	c.subflows = append(c.subflows, sf)
+	u.sf.SeedRTT(path.BaseRTT())
+	fwd.Register(c.cfg.ID, id, u.rxRecv)
+	rev.Register(c.cfg.ID, id, u.ackRecv)
+	c.units = append(c.units, u)
+	c.subflows = append(c.subflows, u.sf)
 	c.lastPenalty = append(c.lastPenalty, 0)
-	return sf
+	return u.sf
 }
 
 // Subflows returns the connection's subflows in creation order (the
@@ -311,15 +379,31 @@ func (c *Conn) Write(size int64, done func(*Transfer)) *Transfer {
 		panic(fmt.Sprintf("mptcp: Write of %d bytes", size))
 	}
 	now := c.eng.Now()
-	tr := &Transfer{
-		Bytes:       size,
-		StartDSN:    c.writeDSN,
-		EndDSN:      c.writeDSN + size,
-		RequestedAt: now,
-		StartedAt:   now,
-		done:        done,
-	}
+	tr := c.newTransfer()
+	tr.Bytes = size
+	tr.StartDSN = c.writeDSN
+	tr.EndDSN = c.writeDSN + size
+	tr.RequestedAt = now
+	tr.StartedAt = now
+	tr.done = done
 	c.admitTransfer(tr)
+	return tr
+}
+
+// newTransfer takes a Transfer from the pool, zeroed but with its
+// LastArrival capacity kept, falling back to the heap until the pool
+// has grown to the cell's working set. tr.conn is pre-bound.
+func (c *Conn) newTransfer() *Transfer {
+	var tr *Transfer
+	if n := len(c.freeTransfers); n > 0 {
+		tr = c.freeTransfers[n-1]
+		c.freeTransfers = c.freeTransfers[:n-1]
+		la := tr.LastArrival[:0]
+		*tr = Transfer{LastArrival: la}
+	} else {
+		tr = &Transfer{}
+	}
+	tr.conn = c
 	return tr
 }
 
@@ -334,12 +418,10 @@ func (c *Conn) Request(size int64, done func(*Transfer)) *Transfer {
 		panic(fmt.Sprintf("mptcp: Request of %d bytes", size))
 	}
 	now := c.eng.Now()
-	tr := &Transfer{
-		Bytes:       size,
-		RequestedAt: now,
-		done:        done,
-		conn:        c,
-	}
+	tr := c.newTransfer()
+	tr.Bytes = size
+	tr.RequestedAt = now
+	tr.done = done
 	c.eng.ScheduleCall(c.requestDelay(), startRequestedTransfer, tr)
 	return tr
 }
@@ -380,20 +462,29 @@ func (c *Conn) admitTransfer(tr *Transfer) {
 		c.unsentBytes += l
 		dsn += l
 	}
-	c.recv.NotifyAt(tr.EndDSN, func() {
-		tr.CompletedAt = c.eng.Now()
-		c.dropTransfer(tr)
-		if tr.done != nil {
-			tr.done(tr)
-		}
-	})
+	c.recv.notifyTransfer(tr)
 	c.trySend()
+}
+
+// completeTransfer finishes tr once the receiver's delivery point has
+// passed its end: it timestamps, retires the transfer (the handle stays
+// valid — and is recycled — only until the connection is reset) and
+// fires the caller's done callback.
+func (c *Conn) completeTransfer(tr *Transfer) {
+	tr.CompletedAt = c.eng.Now()
+	c.dropTransfer(tr)
+	if tr.done != nil {
+		tr.done(tr)
+	}
 }
 
 func (c *Conn) dropTransfer(tr *Transfer) {
 	for i, t := range c.transfers {
 		if t == tr {
-			c.transfers = append(c.transfers[:i], c.transfers[i+1:]...)
+			copy(c.transfers[i:], c.transfers[i+1:])
+			c.transfers[len(c.transfers)-1] = nil
+			c.transfers = c.transfers[:len(c.transfers)-1]
+			c.retired = append(c.retired, tr)
 			return
 		}
 	}

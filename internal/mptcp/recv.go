@@ -1,7 +1,6 @@
 package mptcp
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/netsim"
@@ -9,9 +8,12 @@ import (
 	"repro/internal/sim"
 )
 
-// dsnWaiter fires fn once the in-order delivery point reaches dsn.
+// dsnWaiter fires once the in-order delivery point reaches dsn: the
+// transfer completes (tr non-nil, the closure-free form every data
+// transfer uses) or fn runs (the generic NotifyAt form).
 type dsnWaiter struct {
 	dsn int64
+	tr  *Transfer
 	fn  func()
 }
 
@@ -57,13 +59,33 @@ const noArrival = sim.Time(-1)
 // NewReceiver builds a receiver with the given receive-buffer size in
 // bytes (the base of the advertised window).
 func NewReceiver(eng *sim.Engine, rcvBuf int64) *Receiver {
+	r := &Receiver{eng: eng}
+	r.Reset(rcvBuf)
+	return r
+}
+
+// Reset returns a pooled receiver to the state NewReceiver(eng, rcvBuf)
+// would construct: delivery point zero, empty reorder buffer and waiter
+// list, truncated telemetry series. Every slice keeps its grown
+// capacity, which is what makes the per-cell telemetry (OOO-delay
+// samples, per-subflow byte logs) allocation-free in steady state — and
+// why callers must copy any telemetry they keep before the owning
+// network is closed. ArrivalHook is deliberately preserved: the owning
+// connection binds it once for its lifetime.
+func (r *Receiver) Reset(rcvBuf int64) {
 	if rcvBuf <= 0 {
 		rcvBuf = 4 << 20
 	}
-	return &Receiver{
-		eng:    eng,
-		rcvBuf: rcvBuf,
-	}
+	r.rcvBuf = rcvBuf
+	r.expected = 0
+	r.buffered.Reset()
+	r.bufferedBytes = 0
+	r.waiters = r.waiters[:0]
+	r.oooDelays = r.oooDelays[:0]
+	r.perSubflowBytes = r.perSubflowBytes[:0]
+	r.lastArrival = r.lastArrival[:0]
+	r.deliveredBytes = 0
+	r.duplicateArrival = 0
 }
 
 // Expected returns the next in-order DSN (cumulative data-level ACK).
@@ -110,8 +132,50 @@ func (r *Receiver) NotifyAt(dsn int64, fn func()) {
 		fn()
 		return
 	}
-	r.waiters = append(r.waiters, dsnWaiter{dsn: dsn, fn: fn})
-	sort.SliceStable(r.waiters, func(i, j int) bool { return r.waiters[i].dsn < r.waiters[j].dsn })
+	r.insertWaiter(dsnWaiter{dsn: dsn, fn: fn})
+}
+
+// notifyTransfer is the closure-free transfer form of NotifyAt: the
+// transfer completes (via its owning connection) once the delivery
+// point reaches its end DSN.
+func (r *Receiver) notifyTransfer(tr *Transfer) {
+	if r.expected >= tr.EndDSN {
+		tr.conn.completeTransfer(tr)
+		return
+	}
+	r.insertWaiter(dsnWaiter{dsn: tr.EndDSN, tr: tr})
+}
+
+// insertWaiter places w in DSN order, after every waiter with an equal
+// or lower DSN — the same order the former stable sort produced —
+// shifting in place so a warm waiter slice allocates nothing.
+func (r *Receiver) insertWaiter(w dsnWaiter) {
+	lo, hi := 0, len(r.waiters)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.waiters[mid].dsn <= w.dsn {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.waiters = append(r.waiters, dsnWaiter{})
+	copy(r.waiters[lo+1:], r.waiters[lo:len(r.waiters)-1])
+	r.waiters[lo] = w
+}
+
+// fireWaiter pops and runs the frontmost waiter, compacting in place so
+// the slice's backing array is reused forever.
+func (r *Receiver) fireWaiter() {
+	w := r.waiters[0]
+	copy(r.waiters, r.waiters[1:])
+	r.waiters[len(r.waiters)-1] = dsnWaiter{}
+	r.waiters = r.waiters[:len(r.waiters)-1]
+	if w.tr != nil {
+		w.tr.conn.completeTransfer(w.tr)
+		return
+	}
+	w.fn()
 }
 
 // Snapshot implements tcp.MetaSink: current ACK fields without consuming
@@ -173,9 +237,7 @@ func (r *Receiver) OnData(p *netsim.Packet) (dataAck, window int64) {
 
 	// Fire completion waiters in DSN order.
 	for len(r.waiters) > 0 && r.waiters[0].dsn <= r.expected {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		w.fn()
+		r.fireWaiter()
 	}
 
 	return r.expected, r.Window()

@@ -22,6 +22,18 @@ type Scheduler interface {
 // SchedulerFactory builds a fresh Scheduler for each connection.
 type SchedulerFactory func() Scheduler
 
+// Resettable is implemented by schedulers that can be rebound to a new
+// connection after an in-place reset. Reset must restore exactly the
+// state the scheduler's factory would construct (dynamic state cleared,
+// construction-time parameters kept), which is what lets the network
+// pool scheduler instances across simulation cells instead of
+// allocating one per connection. Schedulers that do not implement it
+// are simply constructed fresh each time.
+type Resettable interface {
+	Scheduler
+	Reset()
+}
+
 // DuplicatingScheduler is an optional extension: schedulers that also
 // send redundant copies of each segment implement it. After the primary
 // copy is placed on the subflow returned by Select, the connection sends

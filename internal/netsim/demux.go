@@ -20,6 +20,20 @@ func NewDemux() *Demux {
 	return &Demux{}
 }
 
+// Reset drops every route and zeroes the unrouted counter while keeping
+// the dense table's storage, so a pooled network re-registers its flows
+// without re-growing the rows. A packet for any ID routes exactly as it
+// would through a fresh Demux: unregistered flows are counted and
+// dropped.
+func (d *Demux) Reset() {
+	for _, row := range d.routes {
+		for i := range row {
+			row[i] = nil
+		}
+	}
+	d.unknown = 0
+}
+
 // Register installs the receiver for one flow, replacing any previous
 // registration. IDs must be non-negative; the table grows to cover the
 // largest registered ID.

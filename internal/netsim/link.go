@@ -112,25 +112,49 @@ type LinkConfig struct {
 // NewLink builds a Link on the given engine. The receiver may be set later
 // via SetReceiver but must be non-nil before the first Send.
 func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
+	l := &Link{eng: eng}
+	l.Reset(cfg, dst)
+	return l
+}
+
+// Reset reconfigures the link in place to the state NewLink(eng, cfg,
+// dst) would construct: empty queue, idle serializer, reseeded loss
+// process, zeroed stats, no tracer. The in-flight ring keeps its grown
+// capacity. The caller must have reset (or drained) the engine first —
+// any pending drain event of the previous run would otherwise fire into
+// the reset link.
+func (l *Link) Reset(cfg LinkConfig, dst Receiver) {
 	if cfg.RateBps <= 0 {
 		panic(fmt.Sprintf("netsim: non-positive rate %v for link %q", cfg.RateBps, cfg.Name))
 	}
 	if cfg.QueueBytes <= 0 {
 		cfg.QueueBytes = 64 * 1024
 	}
-	l := &Link{
-		eng:        eng,
-		name:       cfg.Name,
-		rate:       cfg.RateBps,
-		delay:      cfg.Delay,
-		queueLimit: cfg.QueueBytes,
-		lossRate:   cfg.LossRate,
-		dst:        dst,
-	}
+	l.name = cfg.Name
+	l.rate = cfg.RateBps
+	l.delay = cfg.Delay
+	l.queueLimit = cfg.QueueBytes
+	l.queued = 0
+	l.busyUntil = 0
+	l.lastArrival = 0
+	l.lossRate = cfg.LossRate
 	if cfg.LossRate > 0 {
-		l.rng = sim.NewRNG(cfg.Seed + 0x9d5f)
+		if l.rng == nil {
+			l.rng = sim.NewRNG(cfg.Seed + 0x9d5f)
+		} else {
+			l.rng.Reseed(cfg.Seed + 0x9d5f)
+		}
+	} else {
+		l.rng = nil
 	}
-	return l
+	l.dst = dst
+	l.tracer = nil
+	l.head, l.dep, l.tail = 0, 0, 0
+	l.drainTimer = sim.Timer{}
+	l.drainAt = 0
+	l.drainTk = 0
+	l.draining = false
+	l.stats = LinkStats{}
 }
 
 // Name returns the link label.

@@ -217,3 +217,43 @@ func TestPacketKindString(t *testing.T) {
 		t.Fatal("unknown kind should stringify to unknown")
 	}
 }
+
+// TestLinkResetMatchesFreshLink drives identical traffic through a
+// reused (engine-reset + link-reset) link and a freshly constructed
+// one, requiring identical delivery times, loss draws and counters —
+// the equivalence the pooled network relies on.
+func TestLinkResetMatchesFreshLink(t *testing.T) {
+	cfg := LinkConfig{Name: "t", RateBps: mbps(2), Delay: 5 * time.Millisecond, QueueBytes: 4000, LossRate: 0.2, Seed: 9}
+	drive := func(eng *sim.Engine, l *Link) ([]sim.Time, LinkStats) {
+		var arrived []sim.Time
+		l.SetReceiver(func(p *Packet) { arrived = append(arrived, eng.Now()) })
+		for i := 0; i < 50; i++ {
+			l.Send(&Packet{Size: 1000})
+			eng.RunUntil(eng.Now() + 2*time.Millisecond)
+		}
+		eng.Run()
+		return arrived, l.Stats()
+	}
+
+	engA := sim.New()
+	lA := NewLink(engA, LinkConfig{Name: "warmup", RateBps: mbps(50), Delay: time.Millisecond, LossRate: 0.5, Seed: 1}, nil)
+	drive(engA, lA) // pollute: different config, different loss stream
+	engA.Reset()
+	lA.Reset(cfg, nil)
+	gotT, gotS := drive(engA, lA)
+
+	engB := sim.New()
+	wantT, wantS := drive(engB, NewLink(engB, cfg, nil))
+
+	if gotS != wantS {
+		t.Fatalf("stats after reset = %+v, fresh = %+v", gotS, wantS)
+	}
+	if len(gotT) != len(wantT) {
+		t.Fatalf("delivered %d packets after reset, fresh delivered %d", len(gotT), len(wantT))
+	}
+	for i := range gotT {
+		if gotT[i] != wantT[i] {
+			t.Fatalf("arrival %d at %v after reset, fresh at %v", i, gotT[i], wantT[i])
+		}
+	}
+}

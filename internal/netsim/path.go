@@ -37,25 +37,40 @@ type Path struct {
 // must be installed via SetForwardReceiver / SetReverseReceiver before
 // traffic flows.
 func NewPath(eng *sim.Engine, cfg PathConfig) *Path {
+	p := &Path{fwd: &Link{eng: eng}, rev: &Link{eng: eng}}
+	p.Reset(cfg)
+	return p
+}
+
+// Reset reconfigures both directions in place to the state NewPath(eng,
+// cfg) would construct, keeping the links' grown ring capacity. Like
+// Link.Reset it requires the engine to have been reset first; receivers
+// must be (re)installed afterwards.
+func (p *Path) Reset(cfg PathConfig) {
 	revRate := cfg.ReverseRateBps
 	if revRate <= 0 {
 		revRate = cfg.RateBps
 	}
-	fwd := NewLink(eng, LinkConfig{
-		Name:       cfg.Name + ":fwd",
+	fwdName, revName := p.fwd.name, p.rev.name
+	if p.name != cfg.Name || fwdName == "" {
+		fwdName = cfg.Name + ":fwd"
+		revName = cfg.Name + ":rev"
+	}
+	p.name = cfg.Name
+	p.fwd.Reset(LinkConfig{
+		Name:       fwdName,
 		RateBps:    cfg.RateBps,
 		Delay:      cfg.Delay,
 		QueueBytes: cfg.QueueBytes,
 		LossRate:   cfg.LossRate,
 		Seed:       cfg.Seed,
 	}, nil)
-	rev := NewLink(eng, LinkConfig{
-		Name:       cfg.Name + ":rev",
+	p.rev.Reset(LinkConfig{
+		Name:       revName,
 		RateBps:    revRate,
 		Delay:      cfg.Delay,
 		QueueBytes: cfg.QueueBytes,
 	}, nil)
-	return &Path{name: cfg.Name, fwd: fwd, rev: rev}
 }
 
 // Name returns the path label.

@@ -51,6 +51,16 @@ type TokenBucketConfig struct {
 
 // NewTokenBucket builds a shaper feeding the given link.
 func NewTokenBucket(eng *sim.Engine, cfg TokenBucketConfig, next *Link) *TokenBucket {
+	tb := &TokenBucket{eng: eng}
+	tb.Reset(cfg, next)
+	return tb
+}
+
+// Reset reconfigures the shaper in place to the state NewTokenBucket
+// would construct: a full bucket, an empty backlog (the ring keeps its
+// grown capacity) and zeroed counters. Like Link.Reset it requires the
+// engine to have been reset first.
+func (tb *TokenBucket) Reset(cfg TokenBucketConfig, next *Link) {
 	if cfg.RateBps <= 0 {
 		panic("netsim: token bucket needs a positive rate")
 	}
@@ -60,14 +70,17 @@ func NewTokenBucket(eng *sim.Engine, cfg TokenBucketConfig, next *Link) *TokenBu
 	if cfg.QueueBytes <= 0 {
 		cfg.QueueBytes = 48 * 1024
 	}
-	return &TokenBucket{
-		eng:        eng,
-		rate:       cfg.RateBps / 8,
-		bucketSize: float64(cfg.BurstBytes),
-		tokens:     float64(cfg.BurstBytes),
-		queueLimit: cfg.QueueBytes,
-		next:       next,
-	}
+	tb.rate = cfg.RateBps / 8
+	tb.bucketSize = float64(cfg.BurstBytes)
+	tb.tokens = float64(cfg.BurstBytes)
+	tb.lastRefill = 0
+	tb.queueLimit = cfg.QueueBytes
+	tb.queuedBytes = 0
+	tb.qhead, tb.qtail = 0, 0
+	tb.next = next
+	tb.draining = false
+	tb.dropped = 0
+	tb.shaped = 0
 }
 
 // Dropped returns packets discarded for lack of tokens and queue space.

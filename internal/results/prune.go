@@ -5,13 +5,39 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
+
+// PruneOptions parameterizes a Prune pass.
+type PruneOptions struct {
+	// Keep reports whether a record group belongs to the active matrix.
+	// Records of rejected groups are always deleted. A nil Keep treats
+	// every group as active — the age-only form: Prune(PruneOptions{
+	// OlderThan: ...}) deletes nothing but out-aged records.
+	Keep func(Group) bool
+	// OlderThan, when positive, additionally deletes records *inside*
+	// the active matrix whose file modification time is older than
+	// Now-OlderThan — the age-based variant that bounds store growth
+	// for operators who sweep many scales (a record's mtime is its last
+	// write: results.Store rewrites a record's file on every cache
+	// miss, so age means "not recomputed since", while cache hits do
+	// not refresh it).
+	OlderThan time.Duration
+	// Now anchors the age cutoff; the zero value selects time.Now().
+	Now time.Time
+	// DryRun reports what would be deleted without removing anything.
+	DryRun bool
+}
 
 // PruneReport summarizes a Prune pass.
 type PruneReport struct {
 	// Deleted lists the removed groups (in dry-run mode: the groups that
 	// would be removed), sorted like an audit.
 	Deleted []AuditLine
+	// Aged lists records removed by the OlderThan cutoff — groups the
+	// active matrix still reads, whose records were last written before
+	// the cutoff — sorted like an audit.
+	Aged []AuditLine
 	// KeptRecords/KeptBytes total the surviving records.
 	KeptRecords int
 	KeptBytes   int64
@@ -40,17 +66,50 @@ func (r *PruneReport) DeletedBytes() int64 {
 	return n
 }
 
+// AgedRecords totals the age-pruned record count.
+func (r *PruneReport) AgedRecords() int {
+	n := 0
+	for _, l := range r.Aged {
+		n += l.Records
+	}
+	return n
+}
+
+// AgedBytes totals the age-pruned bytes.
+func (r *PruneReport) AgedBytes() int64 {
+	var n int64
+	for _, l := range r.Aged {
+		n += l.Bytes
+	}
+	return n
+}
+
 // Prune walks the store and deletes every record whose (experiment,
-// scale, schema) group keep rejects — the groups a current run would no
-// longer read, per the enumerated active matrix. With dryRun set,
-// nothing is removed and the report shows what a real pass would
-// delete. Experiment directories left empty by the pass are removed.
-func (s *Store) Prune(keep func(Group) bool, dryRun bool) (*PruneReport, error) {
+// scale, schema) group opts.Keep rejects — the groups a current run
+// would no longer read, per the enumerated active matrix — plus, when
+// opts.OlderThan is set, records inside the active matrix last written
+// before the age cutoff. With DryRun set, nothing is removed and the
+// report shows what a real pass would delete. Experiment directories
+// left empty by the pass are removed.
+func (s *Store) Prune(opts PruneOptions) (*PruneReport, error) {
 	entries, err := os.ReadDir(s.root)
 	if err != nil {
 		return nil, err
 	}
+	keep := opts.Keep
+	if keep == nil {
+		keep = func(Group) bool { return true }
+	}
+	cutoff := time.Time{}
+	if opts.OlderThan > 0 {
+		now := opts.Now
+		if now.IsZero() {
+			now = time.Now()
+		}
+		cutoff = now.Add(-opts.OlderThan)
+	}
 	deleted := make(map[Group]*AuditLine)
+	aged := make(map[Group]*AuditLine)
 	rep := &PruneReport{}
 	for _, dir := range entries {
 		if !dir.IsDir() {
@@ -78,21 +137,31 @@ func (s *Store) Prune(keep func(Group) bool, dryRun bool) (*PruneReport, error) 
 				continue
 			}
 			g := Group{Experiment: env.Key.Experiment, Scale: env.Key.Scale, Schema: env.Key.Schema}
+			lines := deleted
 			if keep(g) {
-				rep.KeptRecords++
-				rep.KeptBytes += int64(len(raw))
-				continue
+				tooOld := false
+				if !cutoff.IsZero() {
+					if info, err := f.Info(); err == nil && info.ModTime().Before(cutoff) {
+						tooOld = true
+					}
+				}
+				if !tooOld {
+					rep.KeptRecords++
+					rep.KeptBytes += int64(len(raw))
+					continue
+				}
+				lines = aged
 			}
-			if !dryRun {
+			if !opts.DryRun {
 				if err := os.Remove(path); err != nil {
 					return nil, err
 				}
 				removed++
 			}
-			line := deleted[g]
+			line := lines[g]
 			if line == nil {
 				line = &AuditLine{Experiment: g.Experiment, Scale: g.Scale, Schema: g.Schema}
-				deleted[g] = line
+				lines[g] = line
 			}
 			line.Records++
 			line.Bytes += int64(len(raw))
@@ -104,11 +173,19 @@ func (s *Store) Prune(keep func(Group) bool, dryRun bool) (*PruneReport, error) 
 			os.Remove(dirPath)
 		}
 	}
-	for _, line := range deleted {
-		rep.Deleted = append(rep.Deleted, *line)
+	rep.Deleted = sortedLines(deleted)
+	rep.Aged = sortedLines(aged)
+	return rep, nil
+}
+
+// sortedLines flattens a per-group tally into audit order.
+func sortedLines(m map[Group]*AuditLine) []AuditLine {
+	var out []AuditLine
+	for _, line := range m {
+		out = append(out, *line)
 	}
-	sort.Slice(rep.Deleted, func(i, j int) bool {
-		a, b := rep.Deleted[i], rep.Deleted[j]
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
 		if a.Experiment != b.Experiment {
 			return a.Experiment < b.Experiment
 		}
@@ -117,5 +194,5 @@ func (s *Store) Prune(keep func(Group) bool, dryRun bool) (*PruneReport, error) 
 		}
 		return a.Schema < b.Schema
 	})
-	return rep, nil
+	return out
 }

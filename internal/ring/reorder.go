@@ -35,6 +35,14 @@ type reorderEnt[T any] struct {
 // Len returns the number of buffered (out-of-order) segments.
 func (r *Reorder[T]) Len() int { return len(r.ents) - r.head }
 
+// Reset empties the buffer while keeping its backing storage, so a
+// pooled receiver restarts at sequence zero with its reorder window
+// already grown to a previous run's working set.
+func (r *Reorder[T]) Reset() {
+	r.ents = r.ents[:0]
+	r.head = 0
+}
+
 // Insert buffers segment [seq, seq+length) with its associated value.
 // It reports false — and stores nothing — when the seq is already
 // buffered (a duplicate arrival).

@@ -40,6 +40,15 @@ func NewBLEST() *BLEST {
 // Name implements mptcp.Scheduler.
 func (*BLEST) Name() string { return "blest" }
 
+// Reset implements mptcp.Resettable: λ returns to its starting value
+// (it is adapted per connection) and the stall tracking clears;
+// LambdaStep is construction-time configuration and persists.
+func (b *BLEST) Reset() {
+	b.Lambda = 1.0
+	b.lastStalls = 0
+	b.waits = 0
+}
+
 // Waits reports how many Select calls declined the slow subflow.
 func (b *BLEST) Waits() int64 { return b.waits }
 

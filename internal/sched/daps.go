@@ -32,6 +32,12 @@ func NewDAPS() *DAPS { return &DAPS{} }
 // Name implements mptcp.Scheduler.
 func (*DAPS) Name() string { return "daps" }
 
+// Reset implements mptcp.Resettable: deficit counters clear (the slice
+// keeps its capacity for the next connection's subflows).
+func (d *DAPS) Reset() {
+	d.credit = d.credit[:0]
+}
+
 // rate returns a subflow's service rate in segments/second.
 func dapsRate(sf *tcp.Subflow) float64 {
 	rtt := effSrtt(sf).Seconds()

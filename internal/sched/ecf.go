@@ -53,6 +53,14 @@ func NewECF() *ECF {
 // Name implements mptcp.Scheduler.
 func (*ECF) Name() string { return "ecf" }
 
+// Reset implements mptcp.Resettable: the hysteresis state and wait
+// counter clear; the algorithm parameters (Beta, UseDelta, UseGuard,
+// SlowStartAware) are construction-time configuration and persist.
+func (e *ECF) Reset() {
+	e.waiting = false
+	e.waits = 0
+}
+
 // Waits reports how many Select calls chose to wait for the fast subflow.
 func (e *ECF) Waits() int64 { return e.waits }
 

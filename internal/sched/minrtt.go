@@ -62,6 +62,9 @@ func NewMinRTT() *MinRTT { return &MinRTT{} }
 // Name implements mptcp.Scheduler.
 func (*MinRTT) Name() string { return "minrtt" }
 
+// Reset implements mptcp.Resettable (MinRTT carries no state).
+func (*MinRTT) Reset() {}
+
 // Select implements mptcp.Scheduler.
 func (*MinRTT) Select(c *mptcp.Conn) *tcp.Subflow {
 	return fastestAvailable(c.Subflows())
@@ -78,6 +81,10 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 
 // Name implements mptcp.Scheduler.
 func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Reset implements mptcp.Resettable: the rotation restarts at the
+// primary subflow, as on a fresh scheduler.
+func (r *RoundRobin) Reset() { r.next = 0 }
 
 // Select implements mptcp.Scheduler.
 func (r *RoundRobin) Select(c *mptcp.Conn) *tcp.Subflow {
@@ -104,6 +111,11 @@ func NewSinglePath(idx int) *SinglePath { return &SinglePath{idx: idx} }
 
 // Name implements mptcp.Scheduler.
 func (*SinglePath) Name() string { return "singlepath" }
+
+// Reset implements mptcp.Resettable: the pinned index is
+// construction-time configuration and persists (the pool keys
+// "wifi-only" and "lte-only" instances separately by registry name).
+func (*SinglePath) Reset() {}
 
 // Select implements mptcp.Scheduler.
 func (s *SinglePath) Select(c *mptcp.Conn) *tcp.Subflow {

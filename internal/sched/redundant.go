@@ -12,13 +12,21 @@ import (
 // paper's comparison but serves as an instructive extension baseline: it
 // bounds the achievable out-of-order delay from below while wasting the
 // aggregate bandwidth the paper's schedulers try to harvest.
-type Redundant struct{}
+type Redundant struct {
+	// dups is the reused scratch for SelectDuplicates; the connection
+	// consumes the returned slice before the next scheduling decision.
+	dups []*tcp.Subflow
+}
 
 // NewRedundant returns a redundant scheduler.
 func NewRedundant() *Redundant { return &Redundant{} }
 
 // Name implements mptcp.Scheduler.
 func (*Redundant) Name() string { return "redundant" }
+
+// Reset implements mptcp.Resettable: the scratch buffer empties (its
+// capacity is kept).
+func (r *Redundant) Reset() { r.dups = r.dups[:0] }
 
 // Select implements mptcp.Scheduler: new data is paced by the lowest-RTT
 // subflow; if it has no window space the scheduler waits rather than
@@ -33,13 +41,14 @@ func (r *Redundant) Select(c *mptcp.Conn) *tcp.Subflow {
 }
 
 // SelectDuplicates implements mptcp.DuplicatingScheduler: every other
-// available subflow carries a redundant copy.
+// available subflow carries a redundant copy. The returned slice is
+// scheduler-owned scratch, valid until the next call.
 func (r *Redundant) SelectDuplicates(c *mptcp.Conn, primary *tcp.Subflow) []*tcp.Subflow {
-	var out []*tcp.Subflow
+	r.dups = r.dups[:0]
 	for _, sf := range c.Subflows() {
 		if sf != primary && sf.CanSend() {
-			out = append(out, sf)
+			r.dups = append(r.dups, sf)
 		}
 	}
-	return out
+	return r.dups
 }

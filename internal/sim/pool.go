@@ -2,11 +2,12 @@ package sim
 
 import "sync"
 
-// enginePool recycles engines across simulations. A sweep of the full
-// experiment matrix runs over a thousand independent cells; without the
-// pool every cell re-grows an arena and heap from nothing, which is pure
-// allocator and cache-warming overhead — the event working set of one
-// cell looks just like the next one's.
+// enginePool recycles engines across simulations for callers that
+// drive engines directly. The experiment sweep no longer cycles
+// engines through here: core pools whole networks, and each pooled
+// network owns one engine for its lifetime, reset in place between
+// cells. Acquire/Release remains the pooling idiom for standalone
+// engine users (harnesses, tools) with the same Reset guarantees.
 var enginePool = sync.Pool{New: func() any { return New() }}
 
 // Acquire returns a ready-to-use engine at virtual time zero, reusing a

@@ -13,23 +13,27 @@ type RNG struct {
 // NewRNG returns a generator seeded from seed via splitmix64.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed returns the generator to the exact state NewRNG(seed) would
+// construct, so a pooled model can restart its random stream in place
+// instead of allocating a fresh generator per simulation cell.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = z ^ (z >> 31)
 	}
 	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
 	// cannot produce four zero words, but guard regardless.
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

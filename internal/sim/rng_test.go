@@ -151,3 +151,17 @@ func TestForkIndependence(t *testing.T) {
 		}
 	}
 }
+
+func TestReseedMatchesFreshConstruction(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		r.Uint64() // advance to an arbitrary interior state
+	}
+	r.Reseed(42)
+	fresh := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := r.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("draw %d after Reseed(42) = %d, fresh NewRNG(42) = %d", i, got, want)
+		}
+	}
+}

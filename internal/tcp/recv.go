@@ -65,15 +65,34 @@ type SubflowRecv struct {
 // the path's forward direction (directly, or through a netsim.Demux when
 // links are shared across connections).
 func NewSubflowRecv(eng *sim.Engine, path *netsim.Path, meta MetaSink, ackBytes int) *SubflowRecv {
+	r := &SubflowRecv{eng: eng}
+	r.Reset(path, meta, ackBytes)
+	return r
+}
+
+// Reset rebinds a pooled receiver to a path and meta sink, restoring
+// the state NewSubflowRecv would construct: sequence zero, an empty
+// reorder buffer (capacity kept), no pending delayed ACK, zeroed
+// counters. The engine must have been reset first (it owned the
+// delayed-ACK timer).
+func (r *SubflowRecv) Reset(path *netsim.Path, meta MetaSink, ackBytes int) {
 	if ackBytes <= 0 {
 		ackBytes = 60
 	}
-	return &SubflowRecv{
-		eng:      eng,
-		path:     path,
-		meta:     meta,
-		ackBytes: ackBytes,
-	}
+	r.path = path
+	r.meta = meta
+	r.ackBytes = ackBytes
+	r.expected = 0
+	r.buffered.Reset()
+	r.DelayedAcks = false
+	r.pendingAck = false
+	r.pendingPkt = netsim.Packet{}
+	r.delayTimer = sim.Timer{}
+	r.acksSent = 0
+	r.acksDelayed = 0
+	r.ackScratch = netsim.Packet{}
+	r.received = 0
+	r.duplicates = 0
 }
 
 // Expected returns the next subflow-level byte the receiver is waiting

@@ -31,13 +31,22 @@ type RTTEstimator struct {
 // NewRTTEstimator returns an estimator with the given RTO clamp range.
 // Zero values select Linux-like defaults (200 ms .. 120 s).
 func NewRTTEstimator(minRTO, maxRTO time.Duration) *RTTEstimator {
+	e := &RTTEstimator{}
+	e.Reset(minRTO, maxRTO)
+	return e
+}
+
+// Reset returns the estimator to the state NewRTTEstimator(minRTO,
+// maxRTO) would construct: no samples, default RTO, empty recent-min
+// ring.
+func (e *RTTEstimator) Reset(minRTO, maxRTO time.Duration) {
 	if minRTO <= 0 {
 		minRTO = 200 * time.Millisecond
 	}
 	if maxRTO <= 0 {
 		maxRTO = 120 * time.Second
 	}
-	return &RTTEstimator{minRTO: minRTO, maxRTO: maxRTO}
+	*e = RTTEstimator{minRTO: minRTO, maxRTO: maxRTO}
 }
 
 // Sample folds one RTT measurement into the estimate.

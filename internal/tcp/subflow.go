@@ -166,24 +166,59 @@ type Subflow struct {
 // NewSubflow wires a sender onto path's forward link; ACKs arriving on the
 // reverse link must be fed to OnAck (the connection layer installs that).
 func NewSubflow(eng *sim.Engine, cfg Config, path *netsim.Path, ctrl cc.Controller, conn ConnHooks) *Subflow {
+	s := &Subflow{eng: eng, rtt: &RTTEstimator{}}
+	s.Reset(cfg, path, ctrl, conn)
+	return s
+}
+
+// Reset rebinds a pooled subflow to a (possibly different) config, path,
+// controller and connection, restoring exactly the state NewSubflow
+// would construct: initial window, empty inflight ring (the segment
+// free list keeps its grown population), fresh RTT estimator, zeroed
+// stats. It registers the subflow with ctrl, so the previous controller
+// must have been detached via Close first, and — like every Reset in
+// the pooled graph — the engine must have been reset first (pending
+// paced-transmit and RTO events of the previous run died with it).
+func (s *Subflow) Reset(cfg Config, path *netsim.Path, ctrl cc.Controller, conn ConnHooks) {
 	cfg.fillDefaults()
 	if ctrl == nil {
 		panic("tcp: nil congestion controller")
 	}
-	s := &Subflow{
-		eng:           eng,
-		cfg:           cfg,
-		path:          path,
-		conn:          conn,
-		ctrl:          ctrl,
-		cwnd:          cfg.InitialCwnd,
-		ssthresh:      1 << 30,
-		recoveryPoint: -1,
-		rtt:           NewRTTEstimator(cfg.MinRTO, 0),
-		rtoBackoff:    1,
+	s.cfg = cfg
+	s.path = path
+	s.conn = conn
+	s.ctrl = ctrl
+	s.nextSeq = 0
+	s.sndUna = 0
+	// Segments still in flight when the previous run ended (a cell cut
+	// off by its horizon with unacked data) were never freed by an ACK;
+	// file them back into the pool so the next run reuses them instead
+	// of re-allocating, and nil the slots so the ring does not pin them.
+	for k := s.infHead; k < s.infTail; k++ {
+		slot := s.inflight.At(k)
+		s.segPool = append(s.segPool, *slot)
+		*slot = nil
 	}
+	s.infHead, s.infTail = 0, 0
+	s.inflightSegs = 0
+	s.inflightBytes = 0
+	s.cwnd = cfg.InitialCwnd
+	s.ssthresh = 1 << 30
+	s.recoveryPoint = -1
+	s.dupAcks = 0
+	s.dupSacked = 0
+	s.rtt.Reset(cfg.MinRTO, 0)
+	s.rtoTimer = sim.Timer{}
+	s.rtoBackoff = 1
+	s.lastSendTime = 0
+	s.everSent = false
+	s.pktScratch = netsim.Packet{}
+	s.idleBaseCwnd = 0
+	s.idleCounted = false
+	s.nextPacedAt = 0
+	s.stats = SubflowStats{}
+	s.debugHook = nil
 	ctrl.Register(s)
-	return s
 }
 
 // ID returns the subflow index.
