@@ -1,13 +1,18 @@
 // Command benchguard turns microbenchmark output into a CI gate: it
 // reads `go test -bench` output on stdin, looks up each guarded
-// benchmark's pinned ceiling in the committed BENCH_pr5.json, and exits
-// non-zero when ns/op or allocs/op regresses past the slack factor.
+// benchmark's pinned ceiling in the committed BENCH_pr6.json, and exits
+// non-zero when ns/op, allocs/op or events/op regresses past the slack
+// factor. The events/op metric (emitted by the guarded benchmarks via
+// b.ReportMetric from the engine's processed+coalesced counters) pins
+// the event-count reductions of the batched drain and lazy timers —
+// a change that quietly reintroduces per-packet events fails CI even
+// if raw ns/op noise masks it.
 //
 // Usage (as the bench-smoke CI job does):
 //
 //	go test -run xxx -bench 'EngineScheduleRun$|LinkSend$|SubflowTransfer$' \
 //	    -benchmem ./internal/sim ./internal/netsim ./internal/tcp \
-//	  | benchguard -baseline BENCH_pr5.json
+//	  | benchguard -baseline BENCH_pr6.json
 //
 // Every benchmark named in the baseline's guard_ceilings section must
 // appear in the input — a benchmark that silently stops running would
@@ -24,13 +29,15 @@ import (
 	"strings"
 )
 
-// ceiling is one guarded benchmark's pinned budget.
+// ceiling is one guarded benchmark's pinned budget. A zero EventsPerOp
+// leaves the event count unguarded (benchmarks predating the metric).
 type ceiling struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	EventsPerOp float64 `json:"events_per_op"`
 }
 
-// baseline is the slice of BENCH_pr5.json this tool reads; the rest of
+// baseline is the slice of BENCH_pr6.json this tool reads; the rest of
 // the file (narrative before/after numbers) is for humans.
 type baseline struct {
 	GuardCeilings map[string]ceiling `json:"guard_ceilings"`
@@ -41,6 +48,8 @@ type measurement struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
+	eventsPerOp float64
+	hasEvents   bool
 }
 
 // parseBenchLine parses a `go test -bench` result line, returning the
@@ -70,13 +79,16 @@ func parseBenchLine(line string) (string, measurement, bool) {
 		case "allocs/op":
 			m.allocsPerOp = v
 			m.hasAllocs = true
+		case "events/op":
+			m.eventsPerOp = v
+			m.hasEvents = true
 		}
 	}
 	return name, m, ok
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr5.json", "baseline JSON with a guard_ceilings section")
+	baselinePath := flag.String("baseline", "BENCH_pr6.json", "baseline JSON with a guard_ceilings section")
 	slack := flag.Float64("slack", 1.25, "allowed regression factor over the pinned ceilings")
 	flag.Parse()
 
@@ -137,6 +149,24 @@ func main() {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "benchguard: ok   %s: %.1f allocs/op <= %.1f\n", name, m.allocsPerOp, limit)
+		}
+		if c.EventsPerOp > 0 {
+			if !m.hasEvents {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: no events/op in input (the benchmark must ReportMetric it)\n", name)
+				failed = true
+				continue
+			}
+			// Event counts are deterministic for a fixed b.N schedule, but
+			// b.N itself varies between runs and the priming window makes
+			// the ratio mildly N-dependent, so the ceiling keeps the same
+			// slack as the other metrics.
+			limit := c.EventsPerOp * *slack
+			if m.eventsPerOp > limit {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.2f events/op exceeds ceiling %.2f\n", name, m.eventsPerOp, limit)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchguard: ok   %s: %.2f events/op <= %.2f\n", name, m.eventsPerOp, limit)
+			}
 		}
 	}
 	if failed {

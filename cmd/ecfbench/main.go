@@ -38,7 +38,9 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/netsim"
 	"repro/internal/results"
+	"repro/internal/sim"
 )
 
 // experiment is a named, runnable paper artifact.
@@ -285,6 +287,22 @@ func profiling(cpu, mem string) func() {
 	}
 }
 
+// eventLine renders the per-run event telemetry: how many logical
+// simulation events fired, how many of those were coalesced into a
+// preceding dispatch instead of going through the heap, and the
+// events-per-delivered-packet ratio — the event-count regression signal
+// the batching work optimizes. Cells served from the result cache
+// simulate nothing, so a fully warm run reports "0 events" and the
+// ratio is suppressed rather than divided by zero.
+func eventLine(processed, coalesced uint64, delivered int64) string {
+	events := processed + coalesced
+	s := fmt.Sprintf("%d events (%d coalesced)", events, coalesced)
+	if delivered > 0 {
+		s += fmt.Sprintf(", %.2f events/pkt", float64(events)/float64(delivered))
+	}
+	return s
+}
+
 // cacheLine renders the session counter delta as "N hits, M computed
 // (P% hit)"; with no cells at all there is no rate to report.
 func cacheLine(hits, computed int64) string {
@@ -373,6 +391,8 @@ func main() {
 
 	run := func(e experiment) {
 		h0, c0 := sc.Results.Stats()
+		p0, c0ev := sim.TotalEvents()
+		dl0 := netsim.TotalDelivered()
 		start := time.Now()
 		out, err := runExperiment(e, sc)
 		if err != nil {
@@ -390,6 +410,8 @@ func main() {
 			h1, c1 := sc.Results.Stats()
 			status += ", " + cacheLine(h1-h0, c1-c0)
 		}
+		p1, c1ev := sim.TotalEvents()
+		status += ", " + eventLine(p1-p0, c1ev-c0ev, netsim.TotalDelivered()-dl0)
 		fmt.Fprintln(os.Stderr, status)
 	}
 
@@ -402,6 +424,8 @@ func main() {
 		if sc.Results != nil {
 			status += ", " + cacheLine(sc.Results.Stats())
 		}
+		pAll, cAll := sim.TotalEvents()
+		status += ", " + eventLine(pAll, cAll, netsim.TotalDelivered())
 		fmt.Fprintln(os.Stderr, status)
 		return
 	}

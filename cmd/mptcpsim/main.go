@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mptcp"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -45,20 +46,11 @@ func main() {
 		SubflowsPerPath:   *subflows,
 	})
 
-	var durations []time.Duration
-	var issue func(i int)
-	issue = func(i int) {
-		if i >= *bursts {
-			return
-		}
-		conn.Request(*bytes, func(tr *mptcp.Transfer) {
-			durations = append(durations, tr.Duration())
-			net.Engine().Schedule(*gap, func() { issue(i + 1) })
-		})
-	}
-	issue(0)
+	iss := &burstIssuer{net: net, conn: conn, bytes: *bytes, gap: *gap, bursts: *bursts}
+	iss.issue()
 	net.RunAll()
 
+	durations := iss.durations
 	if len(durations) != *bursts {
 		fmt.Fprintf(os.Stderr, "only %d/%d transfers completed\n", len(durations), *bursts)
 		os.Exit(1)
@@ -87,4 +79,34 @@ func main() {
 	}
 	ooo := metrics.NewCDF(metrics.DurationsToSeconds(conn.Receiver().OOODelays()))
 	fmt.Printf("out-of-order delay: mean=%.4fs p99=%.4fs\n", ooo.Mean(), ooo.Quantile(0.99))
+}
+
+// burstIssuer issues the request train: each completed transfer arms
+// the next request one gap later, through the typed event table.
+type burstIssuer struct {
+	net       *core.Network
+	conn      *mptcp.Conn
+	bytes     int64
+	gap       time.Duration
+	bursts    int
+	i         int
+	durations []time.Duration
+}
+
+// kindIssueBurst dispatches the next request of the train.
+var kindIssueBurst sim.EventKind
+
+func init() {
+	kindIssueBurst = sim.RegisterKind("mptcpsim.issueBurst", func(a any) { a.(*burstIssuer).issue() })
+}
+
+func (b *burstIssuer) issue() {
+	if b.i >= b.bursts {
+		return
+	}
+	b.i++
+	b.conn.Request(b.bytes, func(tr *mptcp.Transfer) {
+		b.durations = append(b.durations, tr.Duration())
+		b.net.Engine().ScheduleEvent(b.gap, kindIssueBurst, b)
+	})
 }

@@ -18,6 +18,9 @@ import "math"
 // responsiveness; it is included for the congestion-control ablation.
 type BALIA struct {
 	flows []Flow
+	// xs is the per-flow rate scratch reused across ACKs (indexed like
+	// flows) so the per-ACK hot path allocates nothing.
+	xs []float64
 }
 
 // NewBALIA returns an empty BALIA controller.
@@ -39,24 +42,31 @@ func (c *BALIA) Unregister(f Flow) {
 	}
 }
 
-// rates returns x_r for every flow plus the maximum.
-func (c *BALIA) rates() (xs map[Flow]float64, sum, max float64) {
-	xs = make(map[Flow]float64, len(c.flows))
-	for _, f := range c.flows {
-		x := f.Cwnd() / rttOf(f)
-		xs[f] = x
-		sum += x
-		if x > max {
-			max = x
+// rates fills c.xs with x_r for every flow (in registration order, same
+// as the flows slice) and returns the flow sum and maximum, plus x for
+// the flow of interest.
+func (c *BALIA) rates(f Flow) (x, sum, max float64) {
+	if cap(c.xs) < len(c.flows) {
+		c.xs = make([]float64, len(c.flows))
+	}
+	c.xs = c.xs[:len(c.flows)]
+	for i, ff := range c.flows {
+		xi := ff.Cwnd() / rttOf(ff)
+		c.xs[i] = xi
+		sum += xi
+		if xi > max {
+			max = xi
+		}
+		if ff == f {
+			x = xi
 		}
 	}
-	return xs, sum, max
+	return x, sum, max
 }
 
 // OnAck implements the BALIA increase.
 func (c *BALIA) OnAck(f Flow, n int) {
-	xs, sum, max := c.rates()
-	x := xs[f]
+	x, sum, max := c.rates(f)
 	if x <= 0 || sum <= 0 {
 		// Degenerate state: behave like Reno.
 		w := f.Cwnd()
@@ -80,8 +90,7 @@ func (c *BALIA) OnAck(f Flow, n int) {
 
 // OnLoss implements the BALIA decrease.
 func (c *BALIA) OnLoss(f Flow) {
-	xs, _, max := c.rates()
-	x := xs[f]
+	x, _, max := c.rates(f)
 	alpha := 1.0
 	if x > 0 {
 		alpha = max / x

@@ -38,7 +38,18 @@ func (c *LIA) Unregister(f Flow) {
 
 // alpha computes the RFC 6356 aggressiveness factor.
 func (c *LIA) alpha() float64 {
-	var total, maxTerm, denom float64
+	_, a := c.totals()
+	return a
+}
+
+// totals walks the flow set once, returning the aggregate window and the
+// RFC 6356 alpha. OnAck needs both, and the per-flow Cwnd/SrttSeconds
+// interface calls are the dominant cost of the coupled increase on the
+// per-ACK hot path, so they are gathered in a single pass. Sums
+// accumulate in registration order, exactly as the former separate
+// loops did, keeping the floating-point results bit-identical.
+func (c *LIA) totals() (total, alpha float64) {
+	var maxTerm, denom float64
 	for _, f := range c.flows {
 		rtt := f.SrttSeconds()
 		if rtt <= 0 {
@@ -53,17 +64,14 @@ func (c *LIA) alpha() float64 {
 		denom += w / rtt
 	}
 	if denom <= 0 || total <= 0 {
-		return 1
+		return total, 1
 	}
-	return total * maxTerm / (denom * denom)
+	return total, total * maxTerm / (denom * denom)
 }
 
 // OnAck implements the linked increase.
 func (c *LIA) OnAck(f Flow, n int) {
-	var total float64
-	for _, ff := range c.flows {
-		total += ff.Cwnd()
-	}
+	total, alpha := c.totals()
 	w := f.Cwnd()
 	if w <= 0 {
 		w = 1
@@ -71,7 +79,7 @@ func (c *LIA) OnAck(f Flow, n int) {
 	if total <= 0 {
 		total = w
 	}
-	inc := c.alpha() * float64(n) / total
+	inc := alpha * float64(n) / total
 	solo := float64(n) / w
 	if solo < inc {
 		inc = solo

@@ -262,6 +262,21 @@ func (n *Network) Close() {
 		*s = connSlot{}
 	}
 	n.conns = n.conns[:0]
+	// Flush per-link delivery counts into the process totals before the
+	// ports are reused — netsim.TotalDelivered feeds the events/packet
+	// telemetry and must count every finished cell exactly once.
+	for i := range n.ports {
+		if p := n.ports[i].path; p != nil {
+			p.Forward().FlushStats()
+			p.Reverse().FlushStats()
+		}
+	}
+	for i := range n.spares {
+		if p := n.spares[i].path; p != nil {
+			p.Forward().FlushStats()
+			p.Reverse().FlushStats()
+		}
+	}
 	n.eng.Reset()
 	netPool.Put(n)
 }

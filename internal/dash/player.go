@@ -140,6 +140,14 @@ func (p *Player) advanceBuffer() {
 }
 
 // requestNext issues the next chunk request via the ABR.
+// kindPlayerRequest dispatches the end of an ON-OFF pause through the
+// typed event table.
+var kindPlayerRequest sim.EventKind
+
+func init() {
+	kindPlayerRequest = sim.RegisterKind("dash.Player.requestNext", func(a any) { a.(*Player).requestNext() })
+}
+
 func (p *Player) requestNext() {
 	p.advanceBuffer()
 	if p.nextChunk >= p.totalChunks {
@@ -211,7 +219,7 @@ func (p *Player) onChunkDone(idx int, rep Representation, bytes int64, tr *mptcp
 	// until enough playback has been consumed (§2.2, Figure 1).
 	if p.bufferSec+p.cfg.ChunkSeconds > p.cfg.MaxBufferSec && p.playing {
 		offSec := p.bufferSec + p.cfg.ChunkSeconds - p.cfg.MaxBufferSec
-		p.eng.Schedule(time.Duration(offSec*float64(time.Second)), p.requestNext)
+		p.eng.ScheduleEvent(time.Duration(offSec*float64(time.Second)), kindPlayerRequest, p)
 		return
 	}
 	p.requestNext()

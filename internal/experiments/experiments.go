@@ -21,6 +21,8 @@ import (
 	"repro/internal/mptcp"
 	"repro/internal/results"
 	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/tcp"
 )
 
 // Scale sets experiment sizes. The paper streams a 20-minute playout per
@@ -127,6 +129,36 @@ type StreamConfig struct {
 	PreRun func(net *core.Network)
 }
 
+// cwndSampler periodically records every subflow's CWND and send-buffer
+// occupancy into the streaming outcome's traces until the player
+// finishes.
+type cwndSampler struct {
+	eng      *sim.Engine
+	subflows []*tcp.Subflow
+	out      *StreamOutcome
+	done     *bool
+	interval time.Duration
+}
+
+// kindCwndSample dispatches a trace sample through the typed event
+// table.
+var kindCwndSample sim.EventKind
+
+func init() {
+	kindCwndSample = sim.RegisterKind("experiments.cwndSample", func(a any) { a.(*cwndSampler).sample() })
+}
+
+func (s *cwndSampler) sample() {
+	if *s.done {
+		return
+	}
+	for i, sf := range s.subflows {
+		s.out.CwndTraces[i].Add(s.eng.Now(), sf.CwndSegments())
+		s.out.SndbufTraces[i].Add(s.eng.Now(), float64(sf.InflightBytes()))
+	}
+	s.eng.ScheduleEvent(s.interval, kindCwndSample, s)
+}
+
 // StreamOutcome is the telemetry of one streaming run.
 type StreamOutcome struct {
 	// Result is the player-side session record.
@@ -230,18 +262,8 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 			out.SndbufTraces[i] = &metrics.TimeSeries{}
 			out.SubflowNames[i] = sf.Name()
 		}
-		var sample func()
-		sample = func() {
-			if done {
-				return
-			}
-			for i, sf := range subflows {
-				out.CwndTraces[i].Add(eng.Now(), sf.CwndSegments())
-				out.SndbufTraces[i].Add(eng.Now(), float64(sf.InflightBytes()))
-			}
-			eng.Schedule(cfg.SampleInterval, sample)
-		}
-		eng.Schedule(0, sample)
+		s := &cwndSampler{eng: eng, subflows: subflows, out: out, done: &done, interval: cfg.SampleInterval}
+		eng.ScheduleEvent(0, kindCwndSample, s)
 	}
 
 	horizon := time.Duration((videoSec*12 + 300) * float64(time.Second))

@@ -8,6 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dash"
 	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -89,23 +91,38 @@ func measureLoadedRTT(name string, mbps float64, baseRTT time.Duration) time.Dur
 	bytes := int64(mbps * 1e6 / 8 * 20)
 	conn.Write(bytes, nil)
 	eng := net.Engine()
-	sf := conn.Subflows()[0]
-	var sum time.Duration
-	var n int
-	var sample func()
-	sample = func() {
-		sum += sf.Srtt()
-		n++
-		if eng.Now() < 20*time.Second {
-			eng.Schedule(250*time.Millisecond, sample)
-		}
-	}
-	eng.Schedule(2*time.Second, sample) // skip slow-start warm-up
+	s := &loadedRTTSampler{eng: eng, sf: conn.Subflows()[0]}
+	eng.ScheduleEvent(2*time.Second, kindLoadedRTTSample, s) // skip slow-start warm-up
 	net.Run(22 * time.Second)
-	if n == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	return sum / time.Duration(n)
+	return s.sum / time.Duration(s.n)
+}
+
+// loadedRTTSampler periodically samples a saturated subflow's smoothed
+// RTT (the Table 2 loaded-RTT measurement).
+type loadedRTTSampler struct {
+	eng *sim.Engine
+	sf  *tcp.Subflow
+	sum time.Duration
+	n   int
+}
+
+// kindLoadedRTTSample dispatches an RTT sample through the typed event
+// table.
+var kindLoadedRTTSample sim.EventKind
+
+func init() {
+	kindLoadedRTTSample = sim.RegisterKind("experiments.loadedRTTSample", func(a any) { a.(*loadedRTTSampler).sample() })
+}
+
+func (s *loadedRTTSampler) sample() {
+	s.sum += s.sf.Srtt()
+	s.n++
+	if s.eng.Now() < 20*time.Second {
+		s.eng.ScheduleEvent(250*time.Millisecond, kindLoadedRTTSample, s)
+	}
 }
 
 // String renders the Table 2 rows.

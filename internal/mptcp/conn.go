@@ -422,19 +422,23 @@ func (c *Conn) Request(size int64, done func(*Transfer)) *Transfer {
 	tr.Bytes = size
 	tr.RequestedAt = now
 	tr.done = done
-	c.eng.ScheduleCall(c.requestDelay(), startRequestedTransfer, tr)
+	c.eng.ScheduleEvent(c.requestDelay(), kindTransferStart, tr)
 	return tr
 }
 
-// startRequestedTransfer dispatches the request-latency event without a
-// closure: the server begins writing the response.
-func startRequestedTransfer(arg any) {
-	tr := arg.(*Transfer)
-	c := tr.conn
-	tr.StartedAt = c.eng.Now()
-	tr.StartDSN = c.writeDSN
-	tr.EndDSN = c.writeDSN + tr.Bytes
-	c.admitTransfer(tr)
+// kindTransferStart dispatches the request-latency event through the
+// typed event table: the server begins writing the response.
+var kindTransferStart sim.EventKind
+
+func init() {
+	kindTransferStart = sim.RegisterKind("mptcp.Conn.transferStart", func(arg any) {
+		tr := arg.(*Transfer)
+		c := tr.conn
+		tr.StartedAt = c.eng.Now()
+		tr.StartDSN = c.writeDSN
+		tr.EndDSN = c.writeDSN + tr.Bytes
+		c.admitTransfer(tr)
+	})
 }
 
 // requestDelay returns the client-to-server request latency.

@@ -37,6 +37,7 @@ func BenchmarkLinkSend(b *testing.B) {
 		l.Send(&Packet{Kind: Data, Size: 1200})
 	}
 	eng.Run()
+	b.ReportMetric(float64(eng.Processed()+eng.Coalesced())/float64(b.N), "events/op")
 }
 
 // BenchmarkLinkSendLossy is BenchmarkLinkSend with the random-loss

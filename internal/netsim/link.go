@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ring"
@@ -24,14 +25,29 @@ type LinkStats struct {
 	Bytes     int64 // payload+header bytes delivered
 }
 
+// totalDelivered accumulates, across every link in the process, the
+// delivered-packet counts of finished cells (flushed by FlushStats,
+// which core.Network.Close and Link.Reset both invoke). Together with
+// sim.TotalEvents it yields the events/packet telemetry ecfbench
+// reports.
+var totalDelivered atomic.Int64
+
+// TotalDelivered returns the process-wide count of packets delivered by
+// links whose stats have been flushed (a cell flushes when its network
+// is closed).
+func TotalDelivered() int64 { return totalDelivered.Load() }
+
 // flight is one in-flight packet: accepted onto the link, not yet
 // delivered. departure is when it finishes serialization (freeing queue
-// space); arrival is when it reaches the receiver. The two tickets are
-// the tie-break positions those sub-events occupy in the engine's total
-// order, reserved at Send time — exactly where the former
-// two-events-per-packet scheme obtained its sequence numbers, which is
-// what keeps same-timestamp ordering (and therefore experiment output)
-// byte-identical across the single-drain rewrite.
+// space); arrival is when it reaches the receiver. Both carry tickets
+// reserved at Send time — exactly where the former per-sub-event queue
+// entries obtained their sequence numbers, which is what keeps
+// same-timestamp ordering (and therefore experiment output)
+// byte-identical across this rewrite. Only the arrival is ever
+// scheduled: departures run no model-visible code, so they are
+// accounted lazily from the dep cursor, with depTk fixing exactly
+// where in the same-instant dispatch order the queue space frees (see
+// advanceDeparted).
 type flight struct {
 	pkt       Packet
 	departure sim.Time
@@ -48,11 +64,17 @@ type flight struct {
 // Mbps link behind tens of kilobytes of buffer shows ~1 s RTTs).
 //
 // Internally the link keeps its in-flight packets in a ring buffer and
-// runs a single self-rescheduling drain event, rather than two heap
-// events per packet: both the serializer (departure) and the propagation
-// pipe (arrival) are FIFO, so the earliest pending sub-event is always at
-// one of two ring cursors. Steady-state forwarding therefore allocates
-// nothing — see the allocs-per-packet regression test.
+// schedules only deliveries: departures (queue-space release) are pure
+// link-internal accounting, advanced lazily from the dep cursor whenever
+// the queue occupancy is next consulted, so they cost no heap events at
+// all. Deliveries funnel through one self-rescheduling drain event that
+// batches back-to-back arrivals: after delivering the head packet the
+// drain claims each successor inline via sim.RunsNext — succeeding
+// exactly when that delivery would have been the engine's next dispatch
+// anyway — so an uncontended link drains a whole serialization run in
+// one event without perturbing a single tie-break. Steady-state
+// forwarding allocates nothing — see the allocs-per-packet regression
+// test.
 type Link struct {
 	eng  *sim.Engine
 	name string
@@ -80,15 +102,26 @@ type Link struct {
 	tail uint64
 
 	// drainTimer is the single pending drain event (inactive when nothing
-	// is in flight), armed at the earliest pending sub-event's time under
-	// its reserved ticket; drainAt/drainTk mirror that arming. draining
-	// suppresses rescheduling while the drain itself runs.
+	// is in flight), armed at the head arrival under its reserved ticket.
+	// Arrivals are FIFO-monotone in both time and ticket, so an armed
+	// timer never needs to move up. draining suppresses re-arming while
+	// the drain itself runs.
 	drainTimer sim.Timer
-	drainAt    sim.Time
-	drainTk    sim.Ticket
 	draining   bool
 
+	// flushedDelivered is the high-water mark of stats.Delivered already
+	// added to the process-wide total, so FlushStats is idempotent.
+	flushedDelivered int64
+
 	stats LinkStats
+}
+
+// kindLinkDrain dispatches the drain event through the typed event
+// table.
+var kindLinkDrain sim.EventKind
+
+func init() {
+	kindLinkDrain = sim.RegisterKind("netsim.Link.drain", func(a any) { a.(*Link).drain() })
 }
 
 // LinkConfig parameterizes a Link.
@@ -119,10 +152,10 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Receiver) *Link {
 
 // Reset reconfigures the link in place to the state NewLink(eng, cfg,
 // dst) would construct: empty queue, idle serializer, reseeded loss
-// process, zeroed stats, no tracer. The in-flight ring keeps its grown
-// capacity. The caller must have reset (or drained) the engine first —
-// any pending drain event of the previous run would otherwise fire into
-// the reset link.
+// process, zeroed stats (flushed into the process totals first), no
+// tracer. The in-flight ring keeps its grown capacity. The caller must
+// have reset (or drained) the engine first — any pending drain event of
+// the previous run would otherwise fire into the reset link.
 func (l *Link) Reset(cfg LinkConfig, dst Receiver) {
 	if cfg.RateBps <= 0 {
 		panic(fmt.Sprintf("netsim: non-positive rate %v for link %q", cfg.RateBps, cfg.Name))
@@ -130,6 +163,7 @@ func (l *Link) Reset(cfg LinkConfig, dst Receiver) {
 	if cfg.QueueBytes <= 0 {
 		cfg.QueueBytes = 64 * 1024
 	}
+	l.FlushStats()
 	l.name = cfg.Name
 	l.rate = cfg.RateBps
 	l.delay = cfg.Delay
@@ -151,10 +185,20 @@ func (l *Link) Reset(cfg LinkConfig, dst Receiver) {
 	l.tracer = nil
 	l.head, l.dep, l.tail = 0, 0, 0
 	l.drainTimer = sim.Timer{}
-	l.drainAt = 0
-	l.drainTk = 0
 	l.draining = false
 	l.stats = LinkStats{}
+	l.flushedDelivered = 0
+}
+
+// FlushStats adds the link's not-yet-flushed delivered-packet count into
+// the process-wide total (see TotalDelivered). Idempotent; called by
+// Reset and by core.Network.Close so finished cells are counted exactly
+// once.
+func (l *Link) FlushStats() {
+	if d := l.stats.Delivered - l.flushedDelivered; d > 0 {
+		totalDelivered.Add(d)
+		l.flushedDelivered = l.stats.Delivered
+	}
 }
 
 // Name returns the link label.
@@ -170,7 +214,10 @@ func (l *Link) Delay() time.Duration { return l.delay }
 func (l *Link) QueueBytes() int { return l.queueLimit }
 
 // QueuedBytes returns the bytes currently waiting or in serialization.
-func (l *Link) QueuedBytes() int { return l.queued }
+func (l *Link) QueuedBytes() int {
+	l.advanceDeparted()
+	return l.queued
+}
 
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -199,6 +246,30 @@ func (l *Link) SetLossRate(p float64) {
 // SetDelay changes the propagation delay for subsequent packets.
 func (l *Link) SetDelay(d time.Duration) { l.delay = d }
 
+// advanceDeparted applies all serializer departures that the former
+// eager scheme would have dispatched by this point in the run: a packet
+// stops occupying queue space once its departure key (departure time,
+// depTk) precedes the event being dispatched right now. The ticket
+// comparison is what makes the lazy scheme exact — an observer running
+// at the same instant as a departure but at an earlier tie-break
+// position must still see the packet in the queue, or a borderline
+// drop-tail decision flips relative to the event-per-departure
+// schedule. Deferring the accounting to the next occupancy check
+// (Send's drop test, QueuedBytes) is then observationally identical,
+// at zero heap traffic.
+func (l *Link) advanceDeparted() {
+	now := l.eng.Now()
+	cur := l.eng.CurrentTicket()
+	for l.dep < l.tail {
+		f := l.at(l.dep)
+		if f.departure > now || (f.departure == now && f.depTk > cur) {
+			break
+		}
+		l.queued -= f.pkt.Size
+		l.dep++
+	}
+}
+
 // Send enqueues a packet. It returns false when the drop-tail buffer is
 // full and the packet was discarded. The packet is copied exactly once —
 // straight into the in-flight ring slot; the caller keeps ownership of
@@ -210,6 +281,7 @@ func (l *Link) Send(p *Packet) bool {
 	if p.Size <= 0 {
 		panic("netsim: Send with non-positive packet size")
 	}
+	l.advanceDeparted()
 	if l.queued+p.Size > l.queueLimit {
 		l.stats.Dropped++
 		if l.tracer != nil {
@@ -249,7 +321,14 @@ func (l *Link) Send(p *Packet) bool {
 	f.arrival = arrival
 	f.depTk = l.eng.ReserveTicket()
 	f.arrTk = l.eng.ReserveTicket()
-	l.scheduleDrain()
+	// Arrivals are FIFO-monotone in (time, ticket), so an already-armed
+	// timer is never late; arm only when idle. A Send landing inside a
+	// running drain (a receiver forwarding back onto this link) leaves
+	// arming to the drain loop, which re-checks the ring on exit.
+	if !l.draining && !l.drainTimer.Active() {
+		h := l.at(l.head)
+		l.drainTimer = l.eng.AtTicket(h.arrival, h.arrTk, kindLinkDrain, l)
+	}
 	return true
 }
 
@@ -258,90 +337,44 @@ func (l *Link) at(k uint64) *flight {
 	return l.ring.At(k)
 }
 
-// nextEvent returns the earliest pending sub-event: its time, its
-// reserved ticket, and whether it is a departure. Departures and
-// arrivals are each FIFO-monotone in both time and ticket, so the
-// earliest pending sub-event is always at one of the two cursors; on a
-// time tie the lower ticket wins (a pending arrival always belongs to an
-// earlier packet than the departure cursor's, hence holds the lower
-// ticket).
-func (l *Link) nextEvent() (t sim.Time, tk sim.Ticket, doDep, ok bool) {
-	switch {
-	case l.dep < l.tail && l.head < l.dep:
-		d := l.at(l.dep)
-		a := l.at(l.head)
-		if d.departure < a.arrival {
-			return d.departure, d.depTk, true, true
-		}
-		return a.arrival, a.arrTk, false, true
-	case l.dep < l.tail:
-		d := l.at(l.dep)
-		return d.departure, d.depTk, true, true
-	case l.head < l.tail:
-		a := l.at(l.head)
-		return a.arrival, a.arrTk, false, true
-	default:
-		return 0, 0, false, false
-	}
-}
-
-// scheduleDrain (re)arms the drain event for the earliest pending
-// sub-event, under that sub-event's reserved ticket. A new packet can
-// introduce an earlier sub-event than the one the timer waits on (its
-// departure may precede the head arrival), so an active-but-late timer
-// is moved up.
-func (l *Link) scheduleDrain() {
-	if l.draining {
-		return // the running drain re-arms on exit
-	}
-	t, tk, _, ok := l.nextEvent()
-	if !ok {
-		return
-	}
-	if l.drainTimer.Active() {
-		if l.drainAt < t || (l.drainAt == t && l.drainTk <= tk) {
-			return
-		}
-		l.drainTimer.Cancel()
-	}
-	l.drainAt = t
-	l.drainTk = tk
-	l.drainTimer = l.eng.AtTicket(t, tk, drainLink, l)
-}
-
-// drainLink dispatches the drain event without a closure.
-func drainLink(arg any) { arg.(*Link).drain() }
-
-// drain fires for exactly one sub-event — the one the timer was armed
-// for — then re-arms for the next. One sub-event per firing (rather than
-// batch-processing everything due) is what lets other models' events
-// interleave at the same timestamp exactly as they did when each
-// sub-event was its own queue entry: the next pending sub-event goes
-// back into the queue under its own reserved ticket and competes there.
+// drain delivers the head packet, then keeps delivering successors
+// inline for as long as the engine confirms (sim.RunsNext) that each
+// would have been its next dispatch anyway — so a run of back-to-back
+// arrivals on an uncontended link costs one heap event, while any
+// interleaved same-instant event from another model (an ACK arrival on
+// the reverse path, a pacer shot) breaks the batch exactly where the
+// unbatched schedule would have interleaved it. The first refused claim
+// re-arms the timer under that arrival's reserved ticket, so it
+// competes in the queue precisely as its own event always did.
 func (l *Link) drain() {
-	_, _, doDep, ok := l.nextEvent()
-	if !ok {
+	l.drainTimer = sim.Timer{}
+	if l.head >= l.tail {
 		return
 	}
-	if doDep {
-		l.queued -= l.at(l.dep).pkt.Size
-		l.dep++
-		l.scheduleDrain()
-		return
-	}
-	// Deliver straight out of the ring slot — zero copies. The head
-	// cursor is advanced only after delivery returns, so a reentrant
-	// Send cannot reuse the slot: while the head is still live, a push
-	// into a full ring grows it, and growing copies the buffer out
-	// rather than overwriting it, which keeps the delivered pointee
-	// intact for the rest of the receiver chain. Rescheduling is
-	// suppressed so the re-arm below picks the earliest pending
-	// sub-event exactly once.
 	l.draining = true
-	l.deliver(&l.at(l.head).pkt)
+	for {
+		// The departure key of the packet being delivered (and of any
+		// earlier one) precedes this dispatch, so its queue space frees
+		// here: advanceDeparted moves dep past head.
+		l.advanceDeparted()
+		// Deliver straight out of the ring slot — zero copies. The head
+		// cursor is advanced only after delivery returns, so a reentrant
+		// Send cannot reuse the slot: while the head is still live, a
+		// push into a full ring grows it, and growing copies the buffer
+		// out rather than overwriting it, which keeps the delivered
+		// pointee intact for the rest of the receiver chain.
+		l.deliver(&l.at(l.head).pkt)
+		l.head++
+		if l.head >= l.tail {
+			break
+		}
+		n := l.at(l.head)
+		if !l.eng.RunsNext(n.arrival, n.arrTk) {
+			l.drainTimer = l.eng.AtTicket(n.arrival, n.arrTk, kindLinkDrain, l)
+			break
+		}
+	}
 	l.draining = false
-	l.head++
-	l.scheduleDrain()
 }
 
 // deliver applies the loss process and hands the packet to the receiver.

@@ -142,12 +142,16 @@ func (tb *TokenBucket) scheduleDrain() {
 	if need > 0 {
 		wait = time.Duration(need / tb.rate * float64(time.Second))
 	}
-	tb.eng.ScheduleCall(wait, drainTokenBucket, tb)
+	tb.eng.ScheduleEvent(wait, kindTokenBucketDrain, tb)
 }
 
-// drainTokenBucket dispatches the drain event without a closure (a
-// method value like tb.drain would allocate on every arm).
-func drainTokenBucket(arg any) { arg.(*TokenBucket).drain() }
+// kindTokenBucketDrain dispatches the drain through the typed event
+// table (a method value like tb.drain would allocate on every arm).
+var kindTokenBucketDrain sim.EventKind
+
+func init() {
+	kindTokenBucketDrain = sim.RegisterKind("netsim.TokenBucket.drain", func(a any) { a.(*TokenBucket).drain() })
+}
 
 // drain forwards queued packets while tokens allow.
 func (tb *TokenBucket) drain() {

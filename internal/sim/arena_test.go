@@ -144,25 +144,44 @@ func TestRescheduleFromCallbackReusesSlot(t *testing.T) {
 	}
 }
 
-func TestScheduleCallPassesArg(t *testing.T) {
+// testPayload and the test kinds below exercise the typed-event path.
+// RegisterKind is init-only, so test kinds are registered at package
+// level like model kinds are.
+type testPayload struct{ hits int }
+
+var (
+	kindTestNop   = RegisterKind("sim.test.nop", func(any) {})
+	kindTestInc   = RegisterKind("sim.test.inc", func(a any) { a.(*testPayload).hits++ })
+	kindTestInc10 = RegisterKind("sim.test.inc10", func(a any) { a.(*testPayload).hits += 10 })
+)
+
+func TestScheduleEventPassesArg(t *testing.T) {
 	e := New()
-	type payload struct{ hits int }
-	p := &payload{}
-	e.ScheduleCall(time.Millisecond, func(a any) { a.(*payload).hits++ }, p)
-	e.AtCall(2*time.Millisecond, func(a any) { a.(*payload).hits += 10 }, p)
+	p := &testPayload{}
+	e.ScheduleEvent(time.Millisecond, kindTestInc, p)
+	e.AtEvent(2*time.Millisecond, kindTestInc10, p)
 	e.Run()
 	if p.hits != 11 {
 		t.Fatalf("hits = %d, want 11", p.hits)
 	}
 }
 
-func TestAtCallNilFuncPanics(t *testing.T) {
+func TestAtEventUnregisteredKindPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("AtCall(nil) did not panic")
+			t.Fatal("AtEvent with an unregistered kind did not panic")
 		}
 	}()
-	New().AtCall(0, nil, nil)
+	New().AtEvent(0, EventKind(maxKinds-1), nil)
+}
+
+func TestKindName(t *testing.T) {
+	if got := KindName(kindTestNop); got != "sim.test.nop" {
+		t.Fatalf("KindName = %q, want sim.test.nop", got)
+	}
+	if got := KindName(KindClosure); got != "sim.closure" {
+		t.Fatalf("KindName(KindClosure) = %q", got)
+	}
 }
 
 // TestHeapMatchesReferenceUnderChurn drives the 4-ary indexed heap
@@ -188,7 +207,7 @@ func TestHeapMatchesReferenceUnderChurn(t *testing.T) {
 			at := Time(rng.Intn(1000)) * time.Millisecond
 			idx := next
 			next++
-			tm := e.AtCall(at, func(a any) { got = append(got, a.(int)) }, idx)
+			tm := e.At(at, func() { got = append(got, idx) })
 			ev := &refEvent{at: tm.At(), seq: uint64(round), idx: idx}
 			heap.Push(ref, ev)
 			live = append(live, pair{tm, ev, idx})
@@ -264,15 +283,14 @@ func (h *refHeap) Pop() any {
 // nothing.
 func TestSteadyStateSchedulingAllocates0(t *testing.T) {
 	e := New()
-	tick := func(any) {}
 	// Warm the arena/heap to the working-set size.
 	for i := 0; i < 64; i++ {
-		e.ScheduleCall(time.Duration(i)*time.Millisecond, tick, nil)
+		e.ScheduleEvent(time.Duration(i)*time.Millisecond, kindTestNop, nil)
 	}
 	e.Run()
 	avg := testing.AllocsPerRun(100, func() {
 		for i := 0; i < 64; i++ {
-			e.ScheduleCall(time.Duration(i)*time.Millisecond, tick, nil)
+			e.ScheduleEvent(time.Duration(i)*time.Millisecond, kindTestNop, nil)
 		}
 		e.Run()
 	})
@@ -285,12 +303,11 @@ func TestSteadyStateSchedulingAllocates0(t *testing.T) {
 // allocation-free too.
 func TestCancelAllocates0(t *testing.T) {
 	e := New()
-	tick := func(any) {}
-	tm := e.ScheduleCall(time.Millisecond, tick, nil)
+	tm := e.ScheduleEvent(time.Millisecond, kindTestNop, nil)
 	tm.Cancel()
 	avg := testing.AllocsPerRun(100, func() {
 		for i := 0; i < 64; i++ {
-			tm := e.ScheduleCall(time.Millisecond, tick, nil)
+			tm := e.ScheduleEvent(time.Millisecond, kindTestNop, nil)
 			tm.Cancel()
 		}
 	})
@@ -299,32 +316,31 @@ func TestCancelAllocates0(t *testing.T) {
 	}
 }
 
-// BenchmarkEngineScheduleCallRun is the closure-free counterpart of
+// BenchmarkEngineScheduleEventRun is the typed counterpart of
 // BenchmarkEngineScheduleRun: 1000 events scheduled and drained per
 // iteration, with the engine (and its arena) reused across iterations as
 // a simulation would.
-func BenchmarkEngineScheduleCallRun(b *testing.B) {
+func BenchmarkEngineScheduleEventRun(b *testing.B) {
 	e := New()
-	tick := func(any) {}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 1000; j++ {
-			e.ScheduleCall(time.Duration(j)*time.Microsecond, tick, nil)
+			e.ScheduleEvent(time.Duration(j)*time.Microsecond, kindTestNop, nil)
 		}
 		e.Run()
 	}
+	b.ReportMetric(float64(e.Processed()+e.Coalesced())/float64(b.N), "events/op")
 }
 
 // BenchmarkEngineCancel measures the arm/cancel cycle (the per-segment
 // RTO pattern) on a warm arena.
 func BenchmarkEngineCancel(b *testing.B) {
 	e := New()
-	tick := func(any) {}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tm := e.ScheduleCall(time.Millisecond, tick, nil)
+		tm := e.ScheduleEvent(time.Millisecond, kindTestNop, nil)
 		tm.Cancel()
 	}
 }

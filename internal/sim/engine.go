@@ -5,27 +5,66 @@
 // timestamp order; ties are broken by scheduling order, which makes every
 // simulation fully deterministic for a given seed.
 //
+// # Event representation: typed kinds
+//
+// Every queued event is a pair (kind, arg): a small EventKind naming one
+// of the simulation's known event types, and an untyped argument (in
+// practice always a pointer to the model object the event belongs to).
+// Model packages register their kinds once, at package init, with
+// RegisterKind; firing an event is a single load from the dense
+// kind-dispatch table followed by a direct call into the registered
+// handler — there is no per-event closure and no function pointer stored
+// per timer slot. The closure forms Schedule/At are a convenience built
+// on the same representation (KindClosure, with the func() as the
+// argument); they are for setup and cold paths only.
+//
+// The registry contract:
+//
+//   - RegisterKind may only be called during package initialization
+//     (package-level var or init), never after engines are running. The
+//     returned EventKind is process-global and carries no ordering
+//     semantics — dispatch identity only.
+//   - A kind's handler is total: it must tolerate being invoked for any
+//     argument its package schedules under that kind, including after
+//     the model object was reset (handlers run only while their engine
+//     is live, so in practice Reset's invalidation makes this moot).
+//   - Handlers run on the engine's goroutine; they may schedule, cancel
+//     and reserve tickets freely.
+//
 // # Allocation and layout contract
 //
 // The engine is built for allocation-free, cache-resident steady-state
 // operation:
 //
 //   - Timers live in an engine-owned arena recycled through a free list;
-//     a slot holds only the callback (fn, arg), its generation and its
-//     heap position — 32 bytes.
+//     a slot holds only the event argument, its generation and its heap
+//     position — 24 bytes. The event's kind travels in the heap entry
+//     (it fits the entry's alignment padding), so dispatch never waits
+//     on an extra arena load.
 //   - The event queue is a 4-ary min-heap of 24-byte entries that embed
 //     the full ordering key (at, seq) next to the arena slot index, so
 //     sift comparisons read only the contiguous heap slice and never
 //     chase a pointer into the arena. The arena is touched exactly once
 //     per moved entry (to maintain the slot's heap position for eager
 //     Cancel), not once per comparison.
-//   - The closure-free ScheduleCall/AtCall forms let hot-path callers
-//     (links, subflows, shapers) schedule events without capturing
-//     anything.
 //   - Reset returns an engine to time zero while keeping the arena and
 //     heap at their grown capacity, and Acquire/Release pool engines so
 //     a sweep of thousands of simulation cells re-grows these structures
 //     once per worker instead of once per cell.
+//
+// # Event-count reduction: tickets and inline claims
+//
+// Models that multiplex several logical events through one timer (the
+// netsim.Link drain, the tcp.Subflow pacer) reserve a Ticket per logical
+// event up front and arm the shared timer under the earliest pending
+// ticket. When that timer fires, the model may process its successor
+// logical events inline — without a round-trip through the heap — by
+// asking RunsNext whether each successor would be the next event the
+// engine dispatched anyway. This batching is exact: execution order, and
+// therefore every tie-break and every byte of experiment output, is
+// identical to scheduling each logical event individually. Processed
+// counts heap dispatches, Coalesced counts logical events claimed
+// inline; their sum is the logical event total.
 //
 // Once the arena and heap have grown to a simulation's working set,
 // scheduling, firing and cancelling timers perform zero heap
@@ -35,14 +74,81 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 )
 
 // Time is a point in virtual time, measured from the simulation epoch (0).
 type Time = time.Duration
 
+// maxTime is the largest representable virtual time (Run's inline-claim
+// horizon when no deadline applies).
+const maxTime = Time(math.MaxInt64)
+
 // noSlot terminates the arena free list.
 const noSlot = -1
+
+// noRunLimit is the inline-claim bound outside Run/RunUntil: below any
+// valid virtual time, so RunsNext refuses every claim.
+const noRunLimit = Time(-1)
+
+// idleTicket is CurrentTicket's value outside any dispatch: every
+// pending sub-event with a timestamp at or before the clock has
+// logically completed once no event is running.
+const idleTicket = Ticket(math.MaxUint64)
+
+// EventKind identifies one of the simulation's event types in the
+// process-global kind-dispatch table. Kinds are allocated by
+// RegisterKind at package init; KindClosure is pre-registered for the
+// Schedule/At closure forms.
+type EventKind uint8
+
+// KindClosure is the built-in kind backing Schedule/At: the event
+// argument is the func() to invoke.
+const KindClosure EventKind = 0
+
+// maxKinds bounds the dispatch table. The whole stack uses well under
+// this; the bound keeps the table a fixed-size array.
+const maxKinds = 64
+
+var (
+	kindFns   [maxKinds]func(any)
+	kindNames [maxKinds]string
+	numKinds  = EventKind(1) // KindClosure
+)
+
+func init() {
+	kindNames[KindClosure] = "sim.closure"
+	kindFns[KindClosure] = func(arg any) { arg.(func())() }
+}
+
+// RegisterKind adds an event kind to the dispatch table and returns its
+// identifier. It must be called during package initialization only (the
+// table is read without synchronization once engines run); registering
+// more than maxKinds kinds or a nil handler panics.
+func RegisterKind(name string, fn func(any)) EventKind {
+	if fn == nil {
+		panic("sim: RegisterKind with nil handler")
+	}
+	if numKinds >= maxKinds {
+		panic("sim: event-kind table full")
+	}
+	k := numKinds
+	numKinds++
+	kindFns[k] = fn
+	kindNames[k] = name
+	return k
+}
+
+// KindName returns the registration name of k ("" for unregistered
+// values) — telemetry and debugging only.
+func KindName(k EventKind) string {
+	if k < maxKinds {
+		return kindNames[k]
+	}
+	return ""
+}
 
 // Timer is a generation-checked handle for a scheduled event, returned by
 // the Schedule/At families. The zero value is inert: Cancel is a no-op
@@ -72,9 +178,9 @@ func (t Timer) At() Time {
 }
 
 // Cancel removes the timer from the queue eagerly, so cancelled events
-// cost no queue space and no pop-time filtering (RTO-heavy runs re-arm
-// and cancel a timer per segment). Cancelling an already-fired or
-// already-cancelled timer — or the zero Timer — is a no-op.
+// cost no queue space and no pop-time filtering. Cancelling an
+// already-fired or already-cancelled timer — or the zero Timer — is a
+// no-op.
 func (t Timer) Cancel() {
 	e := t.e
 	if e == nil {
@@ -88,24 +194,25 @@ func (t Timer) Cancel() {
 	e.freeSlot(t.slot)
 }
 
-// slot is one arena entry: just the callback and the bookkeeping that
-// ties it to the heap. The ordering key lives in the heap entry itself,
-// not here. While scheduled, pos is the timer's index in the heap; while
-// free, pos chains the free list.
+// slot is one arena entry: the event argument and the bookkeeping that
+// ties it to the heap. The ordering key and the event kind live in the
+// heap entry itself, not here. While scheduled, pos is the timer's index
+// in the heap; while free, pos chains the free list.
 type slot struct {
-	fn  func(any)
 	arg any
 	gen uint32
 	pos int32
 }
 
 // heapEnt is one event-queue entry: the full ordering key packed next to
-// the arena slot index. less never touches the arena — comparisons stay
-// inside the contiguous heap slice.
+// the arena slot index and the event kind (which rides in what would
+// otherwise be alignment padding — the entry stays 24 bytes). less never
+// touches the arena — comparisons stay inside the contiguous heap slice.
 type heapEnt struct {
 	at   Time
 	seq  uint64
 	slot int32
+	kind EventKind
 }
 
 // less orders entries by (at, seq): earliest first, scheduling order
@@ -134,26 +241,60 @@ type Engine struct {
 	heap    []heapEnt
 	seq     uint64
 	stopped bool
-	// processed counts events that have been executed.
+	// limit bounds inline claims (RunsNext): Run lifts it to maxTime,
+	// RunUntil to its deadline, so a batching drain can never advance
+	// the clock past what the run loop itself would dispatch. Outside a
+	// run loop it is -1 (below any valid time) and RunsNext declines
+	// every claim.
+	limit Time
+	// processed counts heap events dispatched; coalesced counts logical
+	// events claimed inline via RunsNext. Their sum is the logical event
+	// total.
 	processed uint64
+	coalesced uint64
+	// curSeq is the tie-break position of the event currently being
+	// dispatched (idleTicket when none is). Models with lazily-accounted
+	// sub-events compare their reserved tickets against it to decide
+	// whether a same-instant sub-event logically precedes the running
+	// event — see CurrentTicket.
+	curSeq uint64
 }
 
 // New returns an empty Engine positioned at time 0.
 func New() *Engine {
-	return &Engine{freeHead: noSlot}
+	return &Engine{freeHead: noSlot, limit: noRunLimit, curSeq: uint64(idleTicket)}
+}
+
+// totalProcessed and totalCoalesced accumulate, across every engine in
+// the process, the counters of runs that have completed (flushed by
+// Reset — the pooled-lifecycle step every simulation cell ends with).
+// They feed the ecfbench event telemetry.
+var (
+	totalProcessed atomic.Uint64
+	totalCoalesced atomic.Uint64
+)
+
+// TotalEvents returns the process-wide counters of heap events
+// dispatched and logical events coalesced inline, summed over every
+// engine run flushed so far (an engine flushes on Reset; a network cell
+// flushes when it is closed).
+func TotalEvents() (processed, coalesced uint64) {
+	return totalProcessed.Load(), totalCoalesced.Load()
 }
 
 // Reset returns the engine to virtual time zero with an empty queue,
 // retaining the arena and heap at their grown capacity so the next
 // simulation starts with a warm working set. Every outstanding Timer
 // handle is invalidated (their generation is bumped) and every pending
-// callback reference is dropped, so the previous simulation's object
-// graph becomes collectable even while the engine sits in a pool.
+// event argument is dropped, so the previous simulation's object graph
+// becomes collectable even while the engine sits in a pool. The run's
+// event counters are flushed into the process-wide totals.
 func (e *Engine) Reset() {
+	totalProcessed.Add(e.processed)
+	totalCoalesced.Add(e.coalesced)
 	for i := range e.arena {
 		s := &e.arena[i]
 		s.gen++
-		s.fn = nil
 		s.arg = nil
 		s.pos = int32(i) - 1 // chain the free list through all slots
 	}
@@ -165,14 +306,31 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.processed = 0
+	e.coalesced = 0
 	e.stopped = false
+	e.limit = noRunLimit
+	e.curSeq = uint64(idleTicket)
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of heap events dispatched so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// Coalesced returns the number of logical events claimed inline via
+// RunsNext so far (events that did not round-trip through the heap).
+func (e *Engine) Coalesced() uint64 { return e.coalesced }
+
+// CurrentTicket returns the tie-break position of the event being
+// dispatched right now — a heap event's sequence number, or the claimed
+// ticket inside a RunsNext batch — and idleTicket (the maximum Ticket)
+// when no event is running. A model that accounts sub-events lazily
+// instead of scheduling them (the link serializer's departures) uses it
+// to reproduce the eager scheme's same-instant semantics exactly: a
+// sub-event keyed (t, tk) has logically completed iff t is in the past,
+// or t is now and tk sorts before the running event's position.
+func (e *Engine) CurrentTicket() Ticket { return Ticket(e.curSeq) }
 
 // Pending returns the number of events waiting in the queue. Cancelled
 // timers are removed eagerly and never counted.
@@ -183,7 +341,8 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // same timestamp). The returned Timer may be used to cancel the event.
 //
 // The closure form is for setup and cold paths; per-packet scheduling
-// should use ScheduleCall/AtCall, which allocate nothing.
+// should use ScheduleEvent/AtEvent with a registered kind, which capture
+// nothing.
 func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
@@ -200,38 +359,36 @@ func (e *Engine) At(t Time, fn func()) Timer {
 	// A func value is pointer-shaped, so boxing it into the arg interface
 	// does not allocate; the closure itself (if it captures) is the
 	// caller's allocation.
-	return e.schedule(t, callClosure, fn)
+	return e.schedule(t, KindClosure, fn)
 }
 
-// callClosure adapts the closure form onto the (fn, arg) representation.
-func callClosure(arg any) { arg.(func())() }
-
-// ScheduleCall is the closure-free form of Schedule: fn is invoked with
-// arg when the timer fires. With a package-level fn and a pointer-shaped
-// arg (the idiom: a package-level dispatch function asserting arg back to
-// the model struct), scheduling captures nothing and allocates nothing.
-func (e *Engine) ScheduleCall(delay time.Duration, fn func(any), arg any) Timer {
+// ScheduleEvent is the typed form of Schedule: the registered handler for
+// kind is invoked with arg when the timer fires. With a pointer-shaped
+// arg (the idiom: the model struct the event belongs to), scheduling
+// captures nothing and allocates nothing.
+func (e *Engine) ScheduleEvent(delay time.Duration, kind EventKind, arg any) Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	return e.AtCall(e.now+delay, fn, arg)
+	return e.AtEvent(e.now+delay, kind, arg)
 }
 
-// AtCall is the closure-free form of At.
-func (e *Engine) AtCall(t Time, fn func(any), arg any) Timer {
-	if fn == nil {
-		panic("sim: AtCall called with nil function")
+// AtEvent is the typed form of At.
+func (e *Engine) AtEvent(t Time, kind EventKind, arg any) Timer {
+	if kind >= numKinds {
+		panic(fmt.Sprintf("sim: AtEvent with unregistered kind %d", kind))
 	}
-	return e.schedule(t, fn, arg)
+	return e.schedule(t, kind, arg)
 }
 
 // Ticket is a reserved position in the engine's tie-break order. Models
 // that multiplex several logical events through one timer (netsim.Link's
-// drain) reserve a ticket per logical event up front and later schedule
-// the shared timer under the earliest pending ticket — so same-timestamp
-// ordering against every other event is exactly what scheduling each
-// logical event individually would have produced. That equivalence is
-// what keeps experiment output byte-identical across the multiplexing.
+// drain, the tcp pacer) reserve a ticket per logical event up front and
+// later schedule the shared timer under the earliest pending ticket — so
+// same-timestamp ordering against every other event is exactly what
+// scheduling each logical event individually would have produced. That
+// equivalence is what keeps experiment output byte-identical across the
+// multiplexing.
 type Ticket uint64
 
 // ReserveTicket claims the next position in the tie-break order, exactly
@@ -241,36 +398,65 @@ func (e *Engine) ReserveTicket() Ticket {
 	return Ticket(e.seq)
 }
 
-// AtTicket arranges for fn(arg) to run at absolute time t occupying a
-// previously reserved tie-break position. Each ticket may back at most
-// one scheduled timer at a time; reusing a ticket after its timer fired
-// or was cancelled is allowed (the drain pattern re-arms under the next
-// pending ticket).
-func (e *Engine) AtTicket(t Time, tk Ticket, fn func(any), arg any) Timer {
-	if fn == nil {
-		panic("sim: AtTicket called with nil function")
+// AtTicket arranges for kind's handler to run on arg at absolute time t,
+// occupying a previously reserved tie-break position. Each ticket may
+// back at most one scheduled timer at a time; reusing a ticket after its
+// timer fired or was cancelled is allowed (the drain pattern re-arms
+// under the next pending ticket).
+func (e *Engine) AtTicket(t Time, tk Ticket, kind EventKind, arg any) Timer {
+	if kind >= numKinds {
+		panic(fmt.Sprintf("sim: AtTicket with unregistered kind %d", kind))
 	}
-	return e.scheduleSeq(t, uint64(tk), fn, arg)
+	return e.scheduleSeq(t, uint64(tk), kind, arg)
 }
 
-// schedule places (fn, arg) into the arena and heap under a fresh
+// RunsNext reports whether a pending logical event keyed (t, tk) would be
+// the engine's very next dispatch — no queued event sorts before it, the
+// run loop has not been stopped, and t does not exceed the loop's
+// deadline — and, when true, advances the clock to t and counts the
+// event as coalesced. A multiplexing model calls this from inside its
+// timer handler to execute successor logical events inline instead of
+// re-arming through the heap; because the claim succeeds only when the
+// successor would have been dispatched next anyway, execution order (and
+// with it every tie-break) is identical to the unbatched schedule.
+// Outside Run/RunUntil the claim always fails, preserving strict
+// one-event-per-Step semantics for direct Step callers.
+func (e *Engine) RunsNext(t Time, tk Ticket) bool {
+	if e.stopped || t > e.limit {
+		return false
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunsNext in the past: %v < %v", t, e.now))
+	}
+	if len(e.heap) > 0 {
+		h := &e.heap[0]
+		if h.at < t || (h.at == t && h.seq < uint64(tk)) {
+			return false
+		}
+	}
+	e.now = t
+	e.coalesced++
+	e.curSeq = uint64(tk)
+	return true
+}
+
+// schedule places (kind, arg) into the arena and heap under a fresh
 // sequence number.
-func (e *Engine) schedule(t Time, fn func(any), arg any) Timer {
+func (e *Engine) schedule(t Time, kind EventKind, arg any) Timer {
 	e.seq++
-	return e.scheduleSeq(t, e.seq, fn, arg)
+	return e.scheduleSeq(t, e.seq, kind, arg)
 }
 
-// scheduleSeq places (fn, arg) into the arena and heap under an explicit
-// tie-break sequence number.
-func (e *Engine) scheduleSeq(t Time, seq uint64, fn func(any), arg any) Timer {
+// scheduleSeq places (kind, arg) into the arena and heap under an
+// explicit tie-break sequence number.
+func (e *Engine) scheduleSeq(t Time, seq uint64, kind EventKind, arg any) Timer {
 	if t < e.now {
 		t = e.now
 	}
 	si := e.allocSlot()
 	s := &e.arena[si]
-	s.fn = fn
 	s.arg = arg
-	e.heap = append(e.heap, heapEnt{at: t, seq: seq, slot: si})
+	e.heap = append(e.heap, heapEnt{at: t, seq: seq, slot: si, kind: kind})
 	e.siftUp(len(e.heap) - 1)
 	return Timer{e: e, slot: si, gen: s.gen}
 }
@@ -287,11 +473,11 @@ func (e *Engine) allocSlot() int32 {
 }
 
 // freeSlot retires a fired or cancelled slot: the generation bump
-// invalidates outstanding handles. fn/arg are deliberately left in
-// place — nil-ing them costs three write-barriered stores on every
-// event pop and cancel, and the references they pin (model objects that
-// live for the whole simulation anyway) die at the latest when Reset
-// clears the arena before the engine is pooled.
+// invalidates outstanding handles. arg is deliberately left in place —
+// nil-ing it costs a write-barriered store on every event pop and
+// cancel, and the reference it pins (a model object that lives for the
+// whole simulation anyway) dies at the latest when Reset clears the
+// arena before the engine is pooled.
 func (e *Engine) freeSlot(si int32) {
 	s := &e.arena[si]
 	s.gen++
@@ -299,8 +485,10 @@ func (e *Engine) freeSlot(si int32) {
 	e.freeHead = si
 }
 
-// Stop aborts the current Run/RunUntil after the in-flight event returns.
-// The queue is preserved, so a subsequent Run resumes where it left off.
+// Stop aborts the current Run/RunUntil after the in-flight event returns
+// (inline claims made after Stop fail, so a batching drain winds down
+// too). The queue is preserved, so a subsequent Run resumes where it
+// left off.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single earliest pending event and returns true, or
@@ -315,22 +503,25 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ent.at
 	e.processed++
-	s := &e.arena[ent.slot]
-	fn, arg := s.fn, s.arg
-	// Retire the slot before running the callback so the event can
+	e.curSeq = ent.seq
+	arg := e.arena[ent.slot].arg
+	// Retire the slot before running the handler so the event can
 	// reschedule (reusing this very slot) and so its own handle is
-	// already stale inside the callback.
+	// already stale inside the handler.
 	e.heapRemove(0)
 	e.freeSlot(ent.slot)
-	fn(arg)
+	kindFns[ent.kind](arg)
+	e.curSeq = uint64(idleTicket)
 	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
+	e.limit = maxTime
 	for !e.stopped && e.Step() {
 	}
+	e.limit = noRunLimit
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
@@ -338,9 +529,11 @@ func (e *Engine) Run() {
 // after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	e.limit = deadline
 	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
+	e.limit = noRunLimit
 	if e.now < deadline {
 		e.now = deadline
 	}

@@ -196,11 +196,14 @@ func TestTimerAt(t *testing.T) {
 }
 
 func BenchmarkEngineScheduleRun(b *testing.B) {
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		e := New()
 		for j := 0; j < 1000; j++ {
 			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
 		}
 		e.Run()
+		events += e.Processed() + e.Coalesced()
 	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }

@@ -102,7 +102,7 @@ func TestResetReusesArenaCapacity(t *testing.T) {
 	e.Reset()
 	avg := testing.AllocsPerRun(10, func() {
 		for i := 0; i < 256; i++ {
-			e.ScheduleCall(time.Duration(i)*time.Microsecond, func(any) {}, nil)
+			e.ScheduleEvent(time.Duration(i)*time.Microsecond, kindTestNop, nil)
 		}
 		e.Run()
 		e.Reset()

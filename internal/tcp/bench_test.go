@@ -57,4 +57,5 @@ func BenchmarkSubflowTransfer(b *testing.B) {
 	if s.InflightSegments() != 0 {
 		b.Fatalf("%d segments still in flight", s.InflightSegments())
 	}
+	b.ReportMetric(float64(eng.Processed()+eng.Coalesced())/float64(b.N), "events/op")
 }

@@ -146,15 +146,24 @@ func (r *SubflowRecv) OnPacket(p *netsim.Packet) {
 		r.pendingAck = true
 		r.pendingPkt = *p
 		r.acksDelayed++
-		r.delayTimer = r.eng.ScheduleCall(40*time.Millisecond, flushDelayedAck, r)
+		r.delayTimer = r.eng.ScheduleEvent(40*time.Millisecond, kindDelayedAck, r)
 		return
 	}
+	// A second arrival before the 40 ms timer supersedes the held ACK in
+	// this very dispatch: the pending flush is cancelled eagerly and the
+	// fresher cumulative ACK goes out now, so a same-instant delayed-ACK
+	// flush never costs its own event.
 	r.cancelPending()
 	r.sendAck(p, dataAck, window)
 }
 
-// flushDelayedAck dispatches the delayed-ACK timer without a closure.
-func flushDelayedAck(arg any) { arg.(*SubflowRecv).flushPending() }
+// kindDelayedAck dispatches the delayed-ACK timer through the typed
+// event table.
+var kindDelayedAck sim.EventKind
+
+func init() {
+	kindDelayedAck = sim.RegisterKind("tcp.SubflowRecv.delayedAck", func(a any) { a.(*SubflowRecv).flushPending() })
+}
 
 // cancelPending drops the held ACK state (a fresher ACK supersedes it).
 func (r *SubflowRecv) cancelPending() {

@@ -90,9 +90,7 @@ const maxBurstSegments = 10
 
 // segment is one in-flight subflow-level segment. Segments are pooled
 // per subflow: acked segments return to a free list and are reused by
-// later sends, so steady-state transfer allocates no segment memory. The
-// owner pointer lets the pacer schedule a transmit with the segment
-// itself as the closure-free event argument.
+// later sends, so steady-state transfer allocates no segment memory.
 type segment struct {
 	seq    int64 // subflow sequence (start byte)
 	dsn    int64 // data sequence (start byte)
@@ -100,6 +98,28 @@ type segment struct {
 	sentAt sim.Time
 	rtx    int // retransmission count
 	owner  *Subflow
+}
+
+// paced is one pending paced transmission: the segment, its release
+// time, and the tie-break ticket reserved when it entered the queue —
+// the position an individually scheduled transmit event would have
+// occupied, which is what keeps the batched pacer byte-identical.
+type paced struct {
+	seg *segment
+	at  sim.Time
+	tk  sim.Ticket
+}
+
+// kindPacedTransmit and kindRTO dispatch the subflow's timer events
+// through the typed event table.
+var (
+	kindPacedTransmit sim.EventKind
+	kindRTO           sim.EventKind
+)
+
+func init() {
+	kindPacedTransmit = sim.RegisterKind("tcp.Subflow.pacedTransmit", func(a any) { a.(*Subflow).firePaced() })
+	kindRTO = sim.RegisterKind("tcp.Subflow.rto", func(a any) { a.(*Subflow).fireRTO() })
 }
 
 // Subflow is the sender side of one MPTCP subflow.
@@ -136,9 +156,29 @@ type Subflow struct {
 	// per RTT.
 	dupSacked int
 
-	rtt        *RTTEstimator
-	rtoTimer   sim.Timer
+	rtt      *RTTEstimator
+	rtoTimer sim.Timer
+	// rtoDeadline/rtoTk are the authoritative retransmission deadline
+	// and its reserved tie-break ticket (rtoDeadline 0 = disarmed). The
+	// heap timer is re-armed lazily: re-arming to a later deadline
+	// leaves the earlier timer in place to fire as a no-op that chains
+	// to the real deadline, so the per-ACK cancel+insert churn of the
+	// eager scheme disappears from the heap entirely.
+	rtoDeadline sim.Time
+	rtoTk       sim.Ticket
+	// rtoArmedTk is the ticket the heap timer is currently armed under;
+	// when it trails rtoTk the fire is stale even if the times coincide
+	// (the real timeout must run at rtoTk's tie-break position).
+	rtoArmedTk sim.Ticket
 	rtoBackoff time.Duration // multiplier, 1 when no backoff
+
+	// pacedQ is the pending paced-transmission queue ([pacedHead,
+	// pacedTail) live, release times and tickets both monotone), drained
+	// by one self-rescheduling timer that batches back-to-back releases
+	// via sim.RunsNext instead of costing one heap event per segment.
+	pacedQ               ring.Ring[paced]
+	pacedHead, pacedTail uint64
+	pacedTimer           sim.Timer
 
 	lastSendTime sim.Time
 	everSent     bool
@@ -209,7 +249,15 @@ func (s *Subflow) Reset(cfg Config, path *netsim.Path, ctrl cc.Controller, conn 
 	s.dupSacked = 0
 	s.rtt.Reset(cfg.MinRTO, 0)
 	s.rtoTimer = sim.Timer{}
+	s.rtoDeadline = 0
+	s.rtoTk = 0
+	s.rtoArmedTk = 0
 	s.rtoBackoff = 1
+	// Segments queued in the pacer are also in the inflight ring (pushSeg
+	// precedes paceOut), which the loop above already filed back into the
+	// pool — just drop the queue; freeing here would double-free.
+	s.pacedHead, s.pacedTail = 0, 0
+	s.pacedTimer = sim.Timer{}
 	s.lastSendTime = 0
 	s.everSent = false
 	s.pktScratch = netsim.Packet{}
@@ -432,14 +480,41 @@ func (s *Subflow) paceOut(seg *segment) {
 		s.transmit(seg)
 		return
 	}
-	s.eng.AtCall(at, transmitPaced, seg)
+	// Queue the release under a reserved ticket — the tie-break position
+	// an individually scheduled transmit event would have taken — and
+	// arm the shared timer only when idle: release times and tickets are
+	// both monotone across the queue, so an armed timer is never late.
+	tk := s.eng.ReserveTicket()
+	*s.pacedQ.PushRef(s.pacedHead, s.pacedTail) = paced{seg: seg, at: at, tk: tk}
+	s.pacedTail++
+	if !s.pacedTimer.Active() {
+		s.pacedTimer = s.eng.AtTicket(at, tk, kindPacedTransmit, s)
+	}
 }
 
-// transmitPaced dispatches a delayed paced transmission without a
-// closure: the pooled segment itself is the event argument.
-func transmitPaced(arg any) {
-	seg := arg.(*segment)
-	seg.owner.transmit(seg)
+// firePaced releases the head of the paced queue, then keeps releasing
+// successors inline for as long as the engine confirms (sim.RunsNext)
+// that each would have been its next dispatch anyway; the first refused
+// claim re-arms the timer under that release's reserved ticket. A
+// transmit never reenters the pacer synchronously (the wire path is
+// pure event scheduling), so the queue cannot change under the loop.
+func (s *Subflow) firePaced() {
+	s.pacedTimer = sim.Timer{}
+	for s.pacedHead < s.pacedTail {
+		pc := s.pacedQ.At(s.pacedHead)
+		seg := pc.seg
+		pc.seg = nil // don't pin the segment once released
+		s.pacedHead++
+		s.transmit(seg)
+		if s.pacedHead >= s.pacedTail {
+			return
+		}
+		n := s.pacedQ.At(s.pacedHead)
+		if !s.eng.RunsNext(n.at, n.tk) {
+			s.pacedTimer = s.eng.AtTicket(n.at, n.tk, kindPacedTransmit, s)
+			return
+		}
+	}
 }
 
 // transmit pushes one segment onto the wire and (re)arms the RTO.
@@ -467,18 +542,53 @@ func (s *Subflow) transmit(seg *segment) {
 	s.armRTO()
 }
 
+// armRTO restarts the retransmission timer lazily. Every arm reserves a
+// ticket — exactly where the eager scheme's re-schedule reserved its
+// sequence number, keeping every later tie-break unchanged — but the
+// heap timer is only touched when it would fire too late: an early
+// timer is left in place and fires as a no-op that chains to the real
+// deadline (fireRTO). Since arms are per-transmit and per-ACK while
+// real timeouts are rare, nearly all RTO heap traffic disappears.
 func (s *Subflow) armRTO() {
-	s.rtoTimer.Cancel()
 	if s.inflightSegs == 0 {
+		s.rtoDeadline = 0
+		s.rtoTimer.Cancel()
 		s.rtoTimer = sim.Timer{}
 		return
 	}
 	d := s.rtt.RTO() * s.rtoBackoff
-	s.rtoTimer = s.eng.ScheduleCall(d, fireRTO, s)
+	at := s.eng.Now() + d
+	s.rtoDeadline = at
+	s.rtoTk = s.eng.ReserveTicket()
+	if s.rtoTimer.Active() {
+		if s.rtoTimer.At() <= at {
+			// The pending timer fires no later than the new deadline:
+			// leave it — fireRTO chains a stale fire to rtoDeadline
+			// under the freshly reserved ticket.
+			return
+		}
+		s.rtoTimer.Cancel()
+	}
+	s.rtoArmedTk = s.rtoTk
+	s.rtoTimer = s.eng.AtTicket(at, s.rtoTk, kindRTO, s)
 }
 
-// fireRTO dispatches the retransmission timeout without a closure.
-func fireRTO(arg any) { arg.(*Subflow).onRTO() }
+// fireRTO filters stale timer fires: a fire before the authoritative
+// deadline re-arms at that deadline under its reserved ticket — so a
+// real timeout runs at exactly the (time, tie-break) the eager scheme
+// would have given it — and a fire after disarm does nothing.
+func (s *Subflow) fireRTO() {
+	s.rtoTimer = sim.Timer{}
+	if s.rtoDeadline == 0 {
+		return
+	}
+	if s.eng.Now() < s.rtoDeadline || s.rtoArmedTk != s.rtoTk {
+		s.rtoArmedTk = s.rtoTk
+		s.rtoTimer = s.eng.AtTicket(s.rtoDeadline, s.rtoTk, kindRTO, s)
+		return
+	}
+	s.onRTO()
+}
 
 // onRTO handles a retransmission timeout: multiplicative decrease to a
 // one-segment window, exponential backoff, and go-back-N style recovery
@@ -658,6 +768,9 @@ func (s *Subflow) Penalize() {
 func (s *Subflow) Close() {
 	s.rtoTimer.Cancel()
 	s.rtoTimer = sim.Timer{}
+	s.rtoDeadline = 0
+	s.pacedTimer.Cancel()
+	s.pacedTimer = sim.Timer{}
 	s.ctrl.Unregister(s)
 }
 

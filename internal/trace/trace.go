@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -64,13 +65,28 @@ func InitialRates(seed uint64, paths int, values []float64) []float64 {
 	return out
 }
 
+// rateChange is the argument of one scheduled bandwidth change.
+type rateChange struct {
+	net     *core.Network
+	pathIdx int
+	mbps    float64
+}
+
+// kindRateChange dispatches a scheduled bandwidth change through the
+// typed event table.
+var kindRateChange sim.EventKind
+
+func init() {
+	kindRateChange = sim.RegisterKind("trace.rateChange", func(a any) {
+		c := a.(*rateChange)
+		c.net.SetRateMbps(c.pathIdx, c.mbps)
+	})
+}
+
 // Apply schedules the changes on the network.
 func Apply(net *core.Network, changes []BandwidthChange) {
 	for _, ch := range changes {
-		ch := ch
-		net.Engine().At(ch.At, func() {
-			net.SetRateMbps(ch.PathIdx, ch.Mbps)
-		})
+		net.Engine().AtEvent(ch.At, kindRateChange, &rateChange{net: net, pathIdx: ch.PathIdx, mbps: ch.Mbps})
 	}
 }
 
@@ -160,28 +176,53 @@ func (w WildRun) Paths() []core.PathSpec {
 // the RTT estimators realistic variance (the σ in ECF's δ margin) in
 // wild scenarios.
 func InstallRTTJitter(net *core.Network, pathIdx int, base time.Duration, amplitude float64, interval time.Duration, seed uint64, until time.Duration) {
-	rng := sim.NewRNG(seed ^ 0x177e)
-	eng := net.Engine()
-	path := net.Paths()[pathIdx]
-	level := 0.0 // walk state in [-1, 1]
-	var step func()
-	step = func() {
-		level += (rng.Float64()*2 - 1) * 0.5
-		if level > 1 {
-			level = 1
-		}
-		if level < -1 {
-			level = -1
-		}
-		d := time.Duration(float64(base) * (1 + amplitude*level) / 2)
-		if d < time.Millisecond {
-			d = time.Millisecond
-		}
-		path.Forward().SetDelay(d)
-		path.Reverse().SetDelay(d)
-		if eng.Now()+interval < until {
-			eng.Schedule(interval, step)
-		}
+	j := &rttJitter{
+		eng:       net.Engine(),
+		path:      net.Paths()[pathIdx],
+		rng:       sim.NewRNG(seed ^ 0x177e),
+		base:      base,
+		amplitude: amplitude,
+		interval:  interval,
+		until:     until,
 	}
-	eng.Schedule(0, step)
+	j.eng.ScheduleEvent(0, kindRTTJitter, j)
+}
+
+// rttJitter is the state of one installed jitter process: a bounded
+// random walk re-armed every interval until the horizon.
+type rttJitter struct {
+	eng       *sim.Engine
+	path      *netsim.Path
+	rng       *sim.RNG
+	base      time.Duration
+	amplitude float64
+	interval  time.Duration
+	until     time.Duration
+	level     float64 // walk state in [-1, 1]
+}
+
+// kindRTTJitter dispatches a jitter step through the typed event table.
+var kindRTTJitter sim.EventKind
+
+func init() {
+	kindRTTJitter = sim.RegisterKind("trace.rttJitter", func(a any) { a.(*rttJitter).step() })
+}
+
+func (j *rttJitter) step() {
+	j.level += (j.rng.Float64()*2 - 1) * 0.5
+	if j.level > 1 {
+		j.level = 1
+	}
+	if j.level < -1 {
+		j.level = -1
+	}
+	d := time.Duration(float64(j.base) * (1 + j.amplitude*j.level) / 2)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	j.path.Forward().SetDelay(d)
+	j.path.Reverse().SetDelay(d)
+	if j.eng.Now()+j.interval < j.until {
+		j.eng.ScheduleEvent(j.interval, kindRTTJitter, j)
+	}
 }

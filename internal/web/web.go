@@ -74,45 +74,78 @@ func FetchPage(eng *sim.Engine, conns []*mptcp.Conn, cfg PageConfig, done func(*
 	if len(conns) == 0 || len(cfg.Objects) == 0 {
 		panic("web: FetchPage needs connections and objects")
 	}
-	res := &PageResult{}
-	start := eng.Now()
-	next := 0
-	remaining := len(cfg.Objects)
-
-	var fetch func(conn *mptcp.Conn)
-	fetch = func(conn *mptcp.Conn) {
-		if next >= len(cfg.Objects) {
-			return
-		}
-		idx := next
-		size := cfg.Objects[idx]
-		next++
-		conn.Request(size, func(tr *mptcp.Transfer) {
-			res.Objects = append(res.Objects, ObjectResult{
-				Index:       idx,
-				Bytes:       size,
-				ConnID:      conn.ID(),
-				RequestedAt: tr.RequestedAt,
-				CompletedAt: tr.CompletedAt,
-			})
-			remaining--
-			if remaining == 0 {
-				res.PageLoadTime = eng.Now() - start
-				if done != nil {
-					done(res)
-				}
-				return
-			}
-			if cfg.ThinkTime > 0 {
-				eng.Schedule(cfg.ThinkTime, func() { fetch(conn) })
-			} else {
-				fetch(conn)
-			}
-		})
+	f := &pageFetcher{
+		eng:       eng,
+		cfg:       cfg,
+		done:      done,
+		res:       &PageResult{},
+		start:     eng.Now(),
+		remaining: len(cfg.Objects),
 	}
 	for _, conn := range conns {
-		fetch(conn)
+		f.fetch(conn)
 	}
+}
+
+// pageFetcher is the state of one in-progress page load.
+type pageFetcher struct {
+	eng       *sim.Engine
+	cfg       PageConfig
+	done      func(*PageResult)
+	res       *PageResult
+	start     sim.Time
+	next      int
+	remaining int
+}
+
+// webThink is the argument of one scheduled think-time gap: which
+// fetcher resumes, on which connection.
+type webThink struct {
+	f    *pageFetcher
+	conn *mptcp.Conn
+}
+
+// kindWebThink dispatches the end of a think-time gap through the typed
+// event table.
+var kindWebThink sim.EventKind
+
+func init() {
+	kindWebThink = sim.RegisterKind("web.think", func(a any) {
+		th := a.(*webThink)
+		th.f.fetch(th.conn)
+	})
+}
+
+// fetch takes the next manifest object on an idle connection.
+func (f *pageFetcher) fetch(conn *mptcp.Conn) {
+	if f.next >= len(f.cfg.Objects) {
+		return
+	}
+	idx := f.next
+	size := f.cfg.Objects[idx]
+	f.next++
+	conn.Request(size, func(tr *mptcp.Transfer) {
+		f.res.Objects = append(f.res.Objects, ObjectResult{
+			Index:       idx,
+			Bytes:       size,
+			ConnID:      conn.ID(),
+			RequestedAt: tr.RequestedAt,
+			CompletedAt: tr.CompletedAt,
+		})
+		f.remaining--
+		if f.remaining == 0 {
+			f.res.PageLoadTime = f.eng.Now() - f.start
+			if f.done != nil {
+				f.done(f.res)
+			}
+			return
+		}
+		if f.cfg.ThinkTime > 0 {
+			f.eng.ScheduleEvent(f.cfg.ThinkTime, kindWebThink, &webThink{f: f, conn: conn})
+		} else {
+			f.fetch(conn)
+		}
+	})
 }
 
 // CNNPageObjects synthesizes a 107-object manifest shaped like the
