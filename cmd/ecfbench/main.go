@@ -14,31 +14,46 @@
 //	ecfbench -cache-dir cache -cache-prune        # delete groups no current run reads
 //	ecfbench -cache-dir cache -cache-prune -older-than 720h  # also age out in-matrix records
 //	ecfbench -exp fig9 -cpuprofile cpu.pprof      # profile a run (also -memprofile)
+//	ecfbench -exp fig9 -trace-cell grid/ecf/14 -trace-out trace.json  # flight-record one cell
+//	ecfbench -exp all -report-json report.json    # machine-readable run summary
+//	ecfbench -exp all -progress                   # cells/total + ETA on stderr
+//	ecfbench -exp all -debug-addr localhost:6060  # live pprof + counter snapshot
 //
 // Each experiment prints the same rows/series the paper reports (see
 // README.md for the experiment index) on stdout; timing and cache
 // statistics go to stderr, so stdout is byte-identical for any -j value
-// and for cold vs. warm cache runs. -cache-dir persists every
-// simulation cell's record keyed by (experiment, cell, scale, schema);
-// -shard i/n simulates only the cells with index%n == i (for splitting
-// a sweep across machines); -merge renders everything from cached
-// records alone and fails naming the first missing cell.
+// and for cold vs. warm cache runs — including runs with -trace-cell,
+// which only observes. -cache-dir persists every simulation cell's
+// record keyed by (experiment, cell, scale, schema); -shard i/n
+// simulates only the cells with index%n == i (for splitting a sweep
+// across machines); -merge renders everything from cached records
+// alone and fails naming the first missing cell.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"hash"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/sim"
 )
@@ -253,38 +268,198 @@ func cacheStats(cacheDir string) {
 	fmt.Println()
 }
 
+// createProfile opens a profile output file, refusing to clobber an
+// existing one unless -force was given — an interrupted run leaves a
+// valid profile behind, and silently truncating it on the next
+// invocation has destroyed real data before.
+func createProfile(flagName, path string, force bool) *os.File {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	if !force {
+		flags |= os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			fail("%s: %s already exists; use -force to overwrite", flagName, path)
+		}
+		fail("%s: %v", flagName, err)
+	}
+	return f
+}
+
 // profiling starts the -cpuprofile collection and returns a function
 // that finalizes both profiles; the caller must run it before exiting
-// normally (error exits skip profiles).
-func profiling(cpu, mem string) func() {
-	var cpuFile *os.File
+// normally (error exits skip profiles). The heap profile destination is
+// opened up front so a clobber refusal aborts before hours of
+// simulation, not after.
+func profiling(cpu, mem string, force bool) func() {
+	var cpuFile, memFile *os.File
 	if cpu != "" {
-		f, err := os.Create(cpu)
-		if err != nil {
-			fail("-cpuprofile: %v", err)
-		}
+		f := createProfile("-cpuprofile", cpu, force)
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fail("-cpuprofile: %v", err)
 		}
 		cpuFile = f
+	}
+	if mem != "" {
+		memFile = createProfile("-memprofile", mem, force)
 	}
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if mem != "" {
-			f, err := os.Create(mem)
-			if err != nil {
-				fail("-memprofile: %v", err)
-			}
+		if memFile != nil {
 			runtime.GC() // materialize the final live set
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
 				fail("-memprofile: %v", err)
 			}
-			f.Close()
+			memFile.Close()
 		}
 	}
+}
+
+// parseTraceCell splits the -trace-cell argument at its LAST slash:
+// cell family names themselves contain slashes ("grid/ecf",
+// "grid/ecf/no-reset"), so "grid/ecf/14" means cell 14 of "grid/ecf".
+func parseTraceCell(s string) (experiment string, cell int, err error) {
+	i := strings.LastIndex(s, "/")
+	if i <= 0 || i == len(s)-1 {
+		return "", 0, fmt.Errorf("-trace-cell %q: want \"family/index\", e.g. grid/ecf/14 (the index follows the last '/')", s)
+	}
+	cell, err = strconv.Atoi(s[i+1:])
+	if err != nil || cell < 0 {
+		return "", 0, fmt.Errorf("-trace-cell %q: cell index %q is not a non-negative integer", s, s[i+1:])
+	}
+	return s[:i], cell, nil
+}
+
+// progressPrinter renders -progress lines on stderr: cells done/total,
+// completion rate, and an ETA extrapolated from the running batch.
+// Rate-limited so huge sweeps don't flood the terminal; the final cell
+// of every batch always prints so the 100% line is never dropped.
+type progressPrinter struct {
+	mu       sync.Mutex
+	start    time.Time
+	last     time.Time
+	lastDone int
+	total    int
+}
+
+// note is the runner.Pool.OnProgress callback (via Scale.Progress). It
+// observes only; it never touches result state.
+func (p *progressPrinter) note(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if total != p.total || done < p.lastDone {
+		// A new batch started (drivers run several per experiment).
+		p.start, p.last = now, time.Time{}
+		p.total = total
+	}
+	p.lastDone = done
+	if done != total && now.Sub(p.last) < 250*time.Millisecond {
+		return
+	}
+	p.last = now
+	line := fmt.Sprintf("progress: %d/%d cells", done, total)
+	elapsed := now.Sub(p.start)
+	if sec := elapsed.Seconds(); sec > 0.001 && done > 0 {
+		line += fmt.Sprintf(" (%.0f cells/s", float64(done)/sec)
+		if done < total {
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+		}
+		line += ")"
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+// startDebugServer mounts net/http/pprof plus a /debug/obs counter
+// snapshot on addr and serves in the background for the life of the
+// run. The listener is opened synchronously so a bad address fails
+// before any simulation starts.
+func startDebugServer(addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail("-debug-addr: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		processed, coalesced := sim.TotalEvents()
+		snap := map[string]any{
+			"events_processed":  processed,
+			"events_coalesced":  coalesced,
+			"events_total":      processed + coalesced,
+			"packets_delivered": netsim.TotalDelivered(),
+			"goroutines":        runtime.NumGoroutine(),
+			"trace_armed":       obs.TraceEnabled(),
+			"mem":               obs.CaptureMemStats(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (counters at /debug/obs)\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+}
+
+// writeTrace exports the captured cell recorder: a Chrome trace-event
+// JSON file (load in Perfetto or chrome://tracing) and optionally a
+// human-readable per-transfer scheduler decision log.
+func writeTrace(traceOut, decisionsOut string) {
+	rec := obs.CapturedCell()
+	if rec == nil {
+		fail("-trace-cell: the selected cell never ran — check the family name and index against the chosen -exp and -scale (and any -shard); the index follows the LAST '/', e.g. grid/ecf/14 is cell 14 of family \"grid/ecf\"")
+	}
+	kindName := func(k uint8) string {
+		if n := sim.KindName(sim.EventKind(k)); n != "" {
+			return n
+		}
+		return fmt.Sprintf("kind-%d", k)
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fail("-trace-out: %v", err)
+	}
+	if err := rec.WriteChromeTrace(f, kindName); err != nil {
+		f.Close()
+		fail("-trace-out: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("-trace-out: %v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"trace: cell %s/%d — %d engine events (%d overwritten), %d packet events (%d overwritten), %d subflow events (%d overwritten), %d decisions (%d overwritten) → %s\n",
+		rec.Experiment, rec.Cell,
+		rec.Flight.Total(), rec.Flight.Dropped(),
+		rec.Packets.Total(), rec.Packets.Dropped(),
+		rec.Subflows.Total(), rec.Subflows.Dropped(),
+		rec.Decisions.Total(), rec.Decisions.Dropped(),
+		traceOut)
+	if decisionsOut == "" {
+		return
+	}
+	df, err := os.Create(decisionsOut)
+	if err != nil {
+		fail("-decisions-out: %v", err)
+	}
+	if err := rec.WriteDecisionLog(df); err != nil {
+		df.Close()
+		fail("-decisions-out: %v", err)
+	}
+	if err := df.Close(); err != nil {
+		fail("-decisions-out: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "decision log: %d decisions → %s\n", rec.Decisions.Total(), decisionsOut)
 }
 
 // eventLine renders the per-run event telemetry: how many logical
@@ -329,8 +504,40 @@ func main() {
 		dryRun    = flag.Bool("dry-run", false, "with -cache-prune: report what would be deleted without removing anything")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		force     = flag.Bool("force", false, "allow -cpuprofile/-memprofile to overwrite an existing file")
+		traceCell = flag.String("trace-cell", "", "flight-record one simulation cell, given as \"family/index\" with the index after the LAST '/' (e.g. grid/ecf/14); requires -exp and -trace-out")
+		traceOut  = flag.String("trace-out", "", "write the traced cell's Chrome trace-event JSON (Perfetto/chrome://tracing) to this file (requires -trace-cell)")
+		decsOut   = flag.String("decisions-out", "", "also write the traced cell's per-transfer scheduler decision log to this file (requires -trace-cell)")
+		reportOut = flag.String("report-json", "", "write a machine-readable run report (per-experiment wall clock, cache/event counters, output hashes, heap stats) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and a /debug/obs counter snapshot on this address (e.g. localhost:6060) for the life of the run")
+		progress  = flag.Bool("progress", false, "report cells completed/total with rate and ETA on stderr while sweeps run")
 	)
 	flag.Parse()
+
+	if *traceOut != "" && *traceCell == "" {
+		failUsage("-trace-out requires -trace-cell (nothing records without a target)")
+	}
+	if *decsOut != "" && *traceCell == "" {
+		failUsage("-decisions-out requires -trace-cell (nothing records without a target)")
+	}
+	var traceExp string
+	var traceIdx int
+	if *traceCell != "" {
+		if *expName == "" {
+			failUsage("-trace-cell requires -exp (the experiment whose sweep runs the cell)")
+		}
+		if *merge {
+			failUsage("-trace-cell cannot be combined with -merge (a merge renders from cache and simulates nothing)")
+		}
+		if *traceOut == "" {
+			failUsage("-trace-cell requires -trace-out (the trace has to go somewhere)")
+		}
+		var err error
+		traceExp, traceIdx, err = parseTraceCell(*traceCell)
+		if err != nil {
+			failUsage("%v", err)
+		}
+	}
 
 	if *stats {
 		if *cacheDir == "" {
@@ -365,7 +572,7 @@ func main() {
 		cachePrune(*cacheDir, sc, *olderThan, *dryRun)
 		return
 	}
-	stopProfiles := profiling(*cpuProf, *memProf)
+	stopProfiles := profiling(*cpuProf, *memProf, *force)
 	defer stopProfiles()
 
 	if *list || *expName == "" {
@@ -388,6 +595,29 @@ func main() {
 	}
 	sc.Workers = *jobs
 	sc.Results = newSession(*cacheDir, *shardStr, *merge, *noCache)
+	if *progress {
+		pp := &progressPrinter{}
+		sc.Progress = pp.note
+	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
+	if *traceCell != "" {
+		// Arm the flight recorder before any cell runs; the matching
+		// cell captures itself on the way through results.runCell.
+		obs.SetTraceTarget(traceExp, traceIdx)
+	}
+	var report *obs.RunReport
+	var runHash hash.Hash
+	if *reportOut != "" {
+		workers := sc.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		report = obs.NewRunReport(*scale, workers)
+		runHash = sha256.New()
+	}
+	runStart := time.Now()
 
 	run := func(e experiment) {
 		h0, c0 := sc.Results.Stats()
@@ -398,42 +628,83 @@ func main() {
 		if err != nil {
 			fail("%s: %v", e.name, err)
 		}
-		if sc.Results.Sharded() {
+		sharded := sc.Results.Sharded()
+		var block string
+		if sharded {
 			// A shard pass fills the store; its result structures are
 			// partial, so the report is rendered by -merge instead.
-			fmt.Printf("=== %s (%s) — shard %s cached, render with -merge ===\n", e.name, e.desc, sc.Results.Shard)
+			block = fmt.Sprintf("=== %s (%s) — shard %s cached, render with -merge ===\n", e.name, e.desc, sc.Results.Shard)
 		} else {
-			fmt.Printf("=== %s (%s) ===\n%s\n", e.name, e.desc, out)
+			block = fmt.Sprintf("=== %s (%s) ===\n%s\n", e.name, e.desc, out)
 		}
-		status := fmt.Sprintf("%s: %v", e.name, time.Since(start).Round(time.Millisecond))
+		if _, err := os.Stdout.WriteString(block); err != nil {
+			fail("writing stdout: %v", err)
+		}
+		elapsed := time.Since(start)
+		h1, c1 := sc.Results.Stats()
+		p1, c1ev := sim.TotalEvents()
+		dl1 := netsim.TotalDelivered()
+		if report != nil {
+			runHash.Write([]byte(block))
+			sum := sha256.Sum256([]byte(block))
+			report.Experiments = append(report.Experiments, obs.ExperimentReport{
+				Name:             e.name,
+				Description:      e.desc,
+				WallClockMs:      float64(elapsed.Nanoseconds()) / 1e6,
+				CacheHits:        h1 - h0,
+				CacheComputed:    c1 - c0,
+				EventsProcessed:  p1 - p0,
+				EventsCoalesced:  c1ev - c0ev,
+				EventsTotal:      (p1 - p0) + (c1ev - c0ev),
+				PacketsDelivered: dl1 - dl0,
+				Sharded:          sharded,
+				OutputBytes:      len(block),
+				OutputSHA256:     hex.EncodeToString(sum[:]),
+			})
+		}
+		status := fmt.Sprintf("%s: %v", e.name, elapsed.Round(time.Millisecond))
 		if sc.Results != nil {
-			h1, c1 := sc.Results.Stats()
 			status += ", " + cacheLine(h1-h0, c1-c0)
 		}
-		p1, c1ev := sim.TotalEvents()
-		status += ", " + eventLine(p1-p0, c1ev-c0ev, netsim.TotalDelivered()-dl0)
+		status += ", " + eventLine(p1-p0, c1ev-c0ev, dl1-dl0)
 		fmt.Fprintln(os.Stderr, status)
 	}
 
 	if *expName == "all" {
-		start := time.Now()
 		for _, e := range catalog {
 			run(e)
 		}
-		status := fmt.Sprintf("all %d experiments: %v total", len(catalog), time.Since(start).Round(time.Millisecond))
+		status := fmt.Sprintf("all %d experiments: %v total", len(catalog), time.Since(runStart).Round(time.Millisecond))
 		if sc.Results != nil {
 			status += ", " + cacheLine(sc.Results.Stats())
 		}
 		pAll, cAll := sim.TotalEvents()
 		status += ", " + eventLine(pAll, cAll, netsim.TotalDelivered())
 		fmt.Fprintln(os.Stderr, status)
-		return
-	}
-	for _, e := range catalog {
-		if e.name == *expName {
-			run(e)
-			return
+	} else {
+		found := false
+		for _, e := range catalog {
+			if e.name == *expName {
+				run(e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			failUsage("unknown experiment %q; use -list", *expName)
 		}
 	}
-	failUsage("unknown experiment %q; use -list", *expName)
+
+	if *traceCell != "" {
+		writeTrace(*traceOut, *decsOut)
+	}
+	if report != nil {
+		report.WallClockMs = float64(time.Since(runStart).Nanoseconds()) / 1e6
+		report.OutputSHA256 = hex.EncodeToString(runHash.Sum(nil))
+		report.Mem = obs.CaptureMemStats()
+		if err := report.WriteFile(*reportOut); err != nil {
+			fail("-report-json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "run report: %d experiments → %s\n", len(report.Experiments), *reportOut)
+	}
 }

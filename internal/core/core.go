@@ -54,6 +54,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/mptcp"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -148,6 +149,11 @@ type Network struct {
 	freeScheds map[string][]mptcp.Scheduler
 	freeCtrls  map[string][]cc.Controller
 
+	// obsRec, when non-nil, is the cell recorder this network's object
+	// graph reports into — set by NewNetwork only when this network is
+	// the traced cell's (obs.ArmedCell), detached again by Close.
+	obsRec *obs.CellRecorder
+
 	closed bool
 }
 
@@ -176,6 +182,19 @@ func NewNetwork(specs []PathSpec) *Network {
 	n.closed = false
 	n.nextID = 0
 	n.Reset(specs)
+	// When this network belongs to the traced cell (the armed recorder
+	// is visible only to the cell holding the trace gate's write lock),
+	// install the engine and link instrumentation; NewConn adds the
+	// subflow and scheduler halves as they are created.
+	if rec := obs.ArmedCell(); rec != nil {
+		n.obsRec = rec
+		n.eng.SetFlightRecorder(rec.Flight)
+		for i := range n.ports {
+			p := n.ports[i].path
+			p.Forward().SetObserver(rec.Packets)
+			p.Reverse().SetObserver(rec.Packets)
+		}
+	}
 	return n
 }
 
@@ -251,6 +270,16 @@ func (n *Network) Close() {
 	n.closed = true
 	for i := range n.conns {
 		s := &n.conns[i]
+		// Detach instrumentation before the graph enters the pools: a
+		// pooled object must never carry a recorder into its next cell
+		// (Reset clears these too; this keeps the invariant even for
+		// objects that sit in a pool without being reused).
+		if n.obsRec != nil {
+			sched.WireDecisionSink(s.conn.Scheduler(), nil)
+			for _, sf := range s.conn.Subflows() {
+				sf.SetObserver(nil)
+			}
+		}
 		// Detach subflows from the controller (and stop their timers)
 		// while the engine is still live.
 		s.conn.Close()
@@ -277,6 +306,16 @@ func (n *Network) Close() {
 			p.Reverse().FlushStats()
 		}
 	}
+	if n.obsRec != nil {
+		for i := range n.ports {
+			if p := n.ports[i].path; p != nil {
+				p.Forward().SetObserver(nil)
+				p.Reverse().SetObserver(nil)
+			}
+		}
+		n.obsRec = nil
+	}
+	// The engine reset below also drops its flight recorder.
 	n.eng.Reset()
 	netPool.Put(n)
 }
@@ -382,6 +421,12 @@ func (n *Network) NewConn(opts ConnOptions) *mptcp.Conn {
 				name = fmt.Sprintf("%s#%d", name, rep)
 			}
 			conn.AddSubflow(name, port.path, port.fwd, port.rev)
+		}
+	}
+	if n.obsRec != nil {
+		sched.WireDecisionSink(schedr, n.obsRec.Decisions)
+		for _, sf := range conn.Subflows() {
+			sf.SetObserver(n.obsRec.Subflows)
 		}
 	}
 	return conn

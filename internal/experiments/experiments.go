@@ -53,6 +53,12 @@ type Scale struct {
 	// cell content, only where records come from, so it is excluded
 	// from cache keys.
 	Results *results.Session
+	// Progress, when non-nil, observes cell completion (the ecfbench
+	// -progress flag): called after every finished cell with the count
+	// completed so far and the batch total, possibly from several
+	// worker goroutines at once. Like Workers and Results it never
+	// affects cell content and is excluded from cache keys.
+	Progress func(done, total int)
 }
 
 // Scale-key helpers: each cell family's cache key encodes only the
@@ -307,7 +313,9 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 // register everything first so one pool serves the whole flattened
 // matrix.
 func newBatch(sc Scale) *results.Batch {
-	return results.NewBatch(runner.New(sc.Workers), sc.Results)
+	pool := runner.New(sc.Workers)
+	pool.OnProgress = sc.Progress
+	return results.NewBatch(pool, sc.Results)
 }
 
 // runBatch executes the batch's cells. Each cell must derive everything

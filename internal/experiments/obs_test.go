@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestTraceCellDoesNotChangeOutput pins the observability tentpole from
+// the outside: arming the flight recorder for one cell of a sweep must
+// leave the rendered report byte-identical — the recorder observes, it
+// never participates. The traced run must also actually capture
+// something, or the equality is vacuous.
+func TestTraceCellDoesNotChangeOutput(t *testing.T) {
+	baseline := Table2(Quick).String()
+
+	obs.SetTraceTarget("table2", 0)
+	defer obs.ClearTraceTarget()
+	traced := Table2(Quick).String()
+
+	if traced != baseline {
+		t.Errorf("tracing cell table2/0 changed the rendered report:\n--- untraced ---\n%s\n--- traced ---\n%s", baseline, traced)
+	}
+	rec := obs.CapturedCell()
+	if rec == nil {
+		t.Fatal("traced sweep captured no recorder (trace gate not reached from the driver path)")
+	}
+	if rec.Flight.Total() == 0 || rec.Packets.Total() == 0 || rec.Subflows.Total() == 0 {
+		t.Errorf("captured recorder is missing streams: flight=%d packets=%d subflows=%d",
+			rec.Flight.Total(), rec.Packets.Total(), rec.Subflows.Total())
+	}
+}
+
+// TestDriverTraceExportsValidChromeTrace runs a traced cell through a
+// real driver and validates the exported trace against the Chrome
+// trace-event golden schema: a traceEvents array wrapped in an object,
+// ph/ts/pid on every timed event, and non-decreasing timestamps.
+func TestDriverTraceExportsValidChromeTrace(t *testing.T) {
+	obs.SetTraceTarget("table2", 1)
+	defer obs.ClearTraceTarget()
+	_ = Table2(Quick)
+	rec := obs.CapturedCell()
+	if rec == nil {
+		t.Fatal("traced sweep captured no recorder")
+	}
+
+	var buf bytes.Buffer
+	kindName := func(k uint8) string { return sim.KindName(sim.EventKind(k)) }
+	if err := rec.WriteChromeTrace(&buf, kindName); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 100 {
+		t.Fatalf("only %d trace events for a full simulated cell; expected hundreds", len(doc.TraceEvents))
+	}
+	last := -1.0
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("traceEvents[%d] has no ph", i)
+		}
+		if ph == "M" {
+			continue
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			t.Fatalf("traceEvents[%d] has no numeric ts", i)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("traceEvents[%d] has no pid", i)
+		}
+		if ts < last {
+			t.Fatalf("traceEvents[%d].ts = %v decreases (prev %v)", i, ts, last)
+		}
+		last = ts
+	}
+}
+
+// TestEventTelemetryDeterministic pins the run-report counters the
+// observability layer exposes per experiment: the event and delivery
+// deltas of one sweep must not depend on the worker count (they feed a
+// machine-readable report that is diffed across runs).
+func TestEventTelemetryDeterministic(t *testing.T) {
+	type counts struct {
+		processed, coalesced uint64
+		delivered            int64
+	}
+	measure := func(workers int) counts {
+		p0, c0 := sim.TotalEvents()
+		d0 := netsim.TotalDelivered()
+		sc := Quick
+		sc.Workers = workers
+		_ = Table2(sc)
+		p1, c1 := sim.TotalEvents()
+		d1 := netsim.TotalDelivered()
+		return counts{p1 - p0, c1 - c0, d1 - d0}
+	}
+	one := measure(1)
+	eight := measure(8)
+	if one != eight {
+		t.Errorf("event telemetry depends on worker count: -j 1 %+v, -j 8 %+v", one, eight)
+	}
+	if one.processed == 0 || one.delivered == 0 {
+		t.Errorf("telemetry deltas are vacuous: %+v", one)
+	}
+}

@@ -113,6 +113,10 @@ type Transfer struct {
 	// conn backs the closure-free request-delay event (set only for
 	// transfers created via Request).
 	conn *Conn
+	// seq is the connection-local admission sequence number — a stable
+	// identity for decision logs (DSN ranges are reused across resets,
+	// admission order is not).
+	seq int64
 }
 
 // Duration returns completion time as seen by the client.
@@ -185,6 +189,8 @@ type Conn struct {
 	peerWindow       int64
 
 	transfers []*Transfer // active, DSN-ordered
+	// transferSeq numbers transfers in admission order (Transfer.seq).
+	transferSeq int64
 	// retired collects completed transfers; freeTransfers feeds Write
 	// and Request. Handles stay valid — fields intact — until the
 	// connection is reset, which moves both lists back into the pool.
@@ -245,6 +251,7 @@ func (c *Conn) Reset(cfg Config, ctrl cc.Controller) {
 	c.retired = c.retired[:0]
 	c.freeTransfers = append(c.freeTransfers, c.transfers...)
 	c.transfers = c.transfers[:0]
+	c.transferSeq = 0
 	c.lastPenalty = c.lastPenalty[:0]
 	c.reinjections = 0
 	c.penalties = 0
@@ -328,6 +335,29 @@ func (c *Conn) UnsentBytes() int64 { return c.unsentBytes }
 
 // UnsentSegments returns the segment count of the unscheduled backlog.
 func (c *Conn) UnsentSegments() int { return len(c.unsent) - c.unsentHead }
+
+// NextUnsentDSN returns the data-level sequence number of the segment
+// at the head of the unscheduled backlog, reporting false when the
+// backlog is empty. Decision traces use it to attribute a scheduling
+// choice to a transfer.
+func (c *Conn) NextUnsentDSN() (int64, bool) {
+	if c.unsentHead >= len(c.unsent) {
+		return 0, false
+	}
+	return c.unsent[c.unsentHead].dsn, true
+}
+
+// ActiveTransferSeq returns the admission sequence number of the
+// active transfer whose DSN range contains dsn, reporting false when
+// no active transfer covers it.
+func (c *Conn) ActiveTransferSeq(dsn int64) (int64, bool) {
+	for _, tr := range c.transfers {
+		if tr.StartDSN <= dsn && dsn < tr.EndDSN {
+			return tr.seq, true
+		}
+	}
+	return 0, false
+}
 
 // DataInflightBytes returns scheduled-but-unacked data-level bytes.
 func (c *Conn) DataInflightBytes() int64 { return c.inflightBytes }
@@ -455,6 +485,8 @@ func (c *Conn) requestDelay() time.Duration {
 // admitTransfer segments the response into the send buffer and arms the
 // completion waiter.
 func (c *Conn) admitTransfer(tr *Transfer) {
+	tr.seq = c.transferSeq
+	c.transferSeq++
 	c.transfers = append(c.transfers, tr)
 	c.writeDSN = tr.EndDSN
 	for dsn := tr.StartDSN; dsn < tr.EndDSN; {

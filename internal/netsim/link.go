@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -92,6 +93,11 @@ type Link struct {
 	rng         *sim.RNG
 	dst         Receiver
 	tracer      *Tracer
+	// obsRec, when non-nil, records per-packet events (enqueue, drop,
+	// deliver, loss, coalesced delivery) for the flight recorder. It is
+	// installed only on the links of a traced cell and cleared by Reset;
+	// everywhere else each hook costs one nil check.
+	obsRec *obs.PacketRecorder
 
 	// ring holds in-flight packets addressed by absolute counters:
 	// [head, tail) are accepted-but-undelivered entries, of which
@@ -183,6 +189,7 @@ func (l *Link) Reset(cfg LinkConfig, dst Receiver) {
 	}
 	l.dst = dst
 	l.tracer = nil
+	l.obsRec = nil
 	l.head, l.dep, l.tail = 0, 0, 0
 	l.drainTimer = sim.Timer{}
 	l.draining = false
@@ -199,6 +206,28 @@ func (l *Link) FlushStats() {
 		totalDelivered.Add(d)
 		l.flushedDelivered = l.stats.Delivered
 	}
+}
+
+// SetObserver installs (or with nil removes) the per-packet event
+// recorder. Reset also removes it, so a pooled link never carries a
+// recorder into its next cell.
+func (l *Link) SetObserver(r *obs.PacketRecorder) { l.obsRec = r }
+
+// observe records one per-packet event; callers guard with obsRec != nil
+// so the disabled path never reaches the call.
+func (l *Link) observe(op obs.PacketOp, p *Packet) {
+	l.obsRec.Record(obs.PacketEvent{
+		At:          l.eng.Now(),
+		Op:          op,
+		Link:        l.name,
+		ConnID:      p.ConnID,
+		SubflowID:   p.SubflowID,
+		Seq:         p.Seq,
+		DSN:         p.DSN,
+		Size:        p.Size,
+		QueuedBytes: l.queued,
+		Retransmit:  p.Retransmit,
+	})
 }
 
 // Name returns the link label.
@@ -287,6 +316,9 @@ func (l *Link) Send(p *Packet) bool {
 		if l.tracer != nil {
 			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDrop, Link: l.name, Pkt: *p})
 		}
+		if l.obsRec != nil {
+			l.observe(obs.PktDrop, p)
+		}
 		return false
 	}
 	l.stats.Sent++
@@ -294,6 +326,9 @@ func (l *Link) Send(p *Packet) bool {
 		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceSend, Link: l.name, Pkt: *p})
 	}
 	l.queued += p.Size
+	if l.obsRec != nil {
+		l.observe(obs.PktEnqueue, p)
+	}
 
 	now := l.eng.Now()
 	start := l.busyUntil
@@ -373,6 +408,9 @@ func (l *Link) drain() {
 			l.drainTimer = l.eng.AtTicket(n.arrival, n.arrTk, kindLinkDrain, l)
 			break
 		}
+		if l.obsRec != nil {
+			l.observe(obs.PktCoalesce, &n.pkt)
+		}
 	}
 	l.draining = false
 }
@@ -384,12 +422,18 @@ func (l *Link) deliver(p *Packet) {
 		if l.tracer != nil {
 			l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceLoss, Link: l.name, Pkt: *p})
 		}
+		if l.obsRec != nil {
+			l.observe(obs.PktLoss, p)
+		}
 		return
 	}
 	l.stats.Delivered++
 	l.stats.Bytes += int64(p.Size)
 	if l.tracer != nil {
 		l.tracer.Record(TraceEvent{At: l.eng.Now(), Kind: TraceDeliver, Link: l.name, Pkt: *p})
+	}
+	if l.obsRec != nil {
+		l.observe(obs.PktDeliver, p)
 	}
 	l.dst(p)
 }

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRingOverwritesOldest pins the flight recorder's ring semantics:
+// past capacity the oldest records fall off, the snapshot stays in
+// chronological order, and Total/Dropped account for every record ever
+// seen.
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(EngineEvent{Ticket: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events()) = %d, want 4 (the ring capacity)", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Ticket != want {
+			t.Errorf("Events()[%d].Ticket = %d, want %d (oldest-first order after wrap)", i, ev.Ticket, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", r.Dropped())
+	}
+}
+
+// TestRingUnderCapacity checks the no-wrap path: everything recorded is
+// returned, nothing reported dropped.
+func TestRingUnderCapacity(t *testing.T) {
+	r := NewPacketRecorder(8)
+	for i := 0; i < 3; i++ {
+		r.Record(PacketEvent{Seq: int64(i)})
+	}
+	if got := r.Events(); len(got) != 3 || got[0].Seq != 0 || got[2].Seq != 2 {
+		t.Errorf("Events() = %+v, want seqs 0,1,2 in order", got)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", r.Dropped())
+	}
+}
+
+// TestEnterCellArmsAndCaptures walks the trace-gate lifecycle: the
+// target cell arms a fresh recorder, release publishes it for
+// CapturedCell, and non-target cells never see an armed recorder.
+func TestEnterCellArmsAndCaptures(t *testing.T) {
+	SetTraceTarget("gate-test", 3)
+	defer ClearTraceTarget()
+
+	if !TraceEnabled() {
+		t.Fatal("TraceEnabled() = false after SetTraceTarget")
+	}
+	traced, release := EnterCell("gate-test", 2)
+	if traced {
+		t.Fatal("EnterCell matched the wrong cell index")
+	}
+	if ArmedCell() != nil {
+		t.Fatal("non-target cell observed an armed recorder")
+	}
+	release()
+
+	traced, release = EnterCell("gate-test", 3)
+	if !traced {
+		t.Fatal("EnterCell did not match the target cell")
+	}
+	rec := ArmedCell()
+	if rec == nil {
+		t.Fatal("target cell has no armed recorder")
+	}
+	if CapturedCell() != nil {
+		t.Fatal("recorder captured before release")
+	}
+	release()
+	if ArmedCell() != nil {
+		t.Fatal("recorder still armed after release")
+	}
+	got := CapturedCell()
+	if got != rec {
+		t.Fatalf("CapturedCell() = %p, want the armed recorder %p", got, rec)
+	}
+	if got.Experiment != "gate-test" || got.Cell != 3 {
+		t.Errorf("captured identity = %s/%d, want gate-test/3", got.Experiment, got.Cell)
+	}
+}
+
+// TestSetTraceTargetClearsCapture ensures re-arming for a new run drops
+// the previous run's capture instead of serving it as a stale result.
+func TestSetTraceTargetClearsCapture(t *testing.T) {
+	SetTraceTarget("stale-test", 0)
+	defer ClearTraceTarget()
+	_, release := EnterCell("stale-test", 0)
+	release()
+	if CapturedCell() == nil {
+		t.Fatal("no capture to go stale")
+	}
+	SetTraceTarget("stale-test", 1)
+	if CapturedCell() != nil {
+		t.Fatal("SetTraceTarget kept the previous run's capture")
+	}
+}
+
+// TestDecisionRecorderCopiesDeeply pins the aliasing contract:
+// schedulers reuse their candidate scratch and quantity structs between
+// Select calls, so RecordDecision must deep-copy everything it stores.
+func TestDecisionRecorderCopiesDeeply(t *testing.T) {
+	r := NewDecisionRecorder(4)
+	cands := []SchedCandidate{{Name: "wifi", Srtt: 20 * time.Millisecond}}
+	ecf := &EcfQuantities{LHS: 1, RHS: 2}
+	d := SchedDecision{Scheduler: "ecf", Chosen: "wifi", Candidates: cands, Ecf: ecf}
+	r.RecordDecision(&d)
+
+	cands[0].Name = "mutated"
+	ecf.LHS = 99
+	d.Chosen = "mutated"
+
+	got := r.Decisions()
+	if len(got) != 1 {
+		t.Fatalf("len(Decisions()) = %d, want 1", len(got))
+	}
+	if got[0].Candidates[0].Name != "wifi" {
+		t.Errorf("stored candidate aliased the scheduler's scratch: Name = %q", got[0].Candidates[0].Name)
+	}
+	if got[0].Ecf.LHS != 1 {
+		t.Errorf("stored EcfQuantities aliased the scheduler's struct: LHS = %v", got[0].Ecf.LHS)
+	}
+	if got[0].Chosen != "wifi" {
+		t.Errorf("stored decision aliased the caller's struct: Chosen = %q", got[0].Chosen)
+	}
+}
+
+// TestChromeTraceSchema exports a small recorder and checks the trace
+// is valid Chrome trace-event JSON: a traceEvents array, required
+// fields on every event, and non-decreasing timestamps (metadata
+// records excepted — they carry no time).
+func TestChromeTraceSchema(t *testing.T) {
+	rec := NewCellRecorder("schema-test", 0)
+	rec.Flight.Record(EngineEvent{At: 2 * time.Millisecond, Ticket: 1, Kind: 7})
+	rec.Flight.Record(EngineEvent{At: 3 * time.Millisecond, Ticket: 2, Kind: KindCoalesced, Coalesced: true})
+	rec.Packets.Record(PacketEvent{At: time.Millisecond, Op: PktEnqueue, Link: "wifi:fwd", Seq: 1, Size: 1448, QueuedBytes: 1448})
+	rec.Packets.Record(PacketEvent{At: 4 * time.Millisecond, Op: PktDeliver, Link: "wifi:fwd", Seq: 1, Size: 1448})
+	rec.Subflows.Record(SubflowEvent{At: time.Millisecond, Op: SfSend, Name: "wifi", Seq: 1, Cwnd: 10})
+	rec.Decisions.RecordDecision(&SchedDecision{At: time.Millisecond, Scheduler: "ecf", Chosen: "wifi",
+		Candidates: []SchedCandidate{{Name: "wifi"}}, Ecf: &EcfQuantities{}})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	last := -1.0
+	timed := 0
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("traceEvents[%d] has no ph: %v", i, ev)
+		}
+		if ph == "M" {
+			continue
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			t.Fatalf("traceEvents[%d] has no numeric ts: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("traceEvents[%d] has no pid: %v", i, ev)
+		}
+		if ts < last {
+			t.Fatalf("traceEvents[%d].ts = %v decreases (prev %v); Perfetto needs sorted events", i, ts, last)
+		}
+		last = ts
+		timed++
+	}
+	if timed < 6 {
+		t.Errorf("only %d timed events exported, want at least the 6 recorded", timed)
+	}
+}
+
+// TestDecisionLogFormat smoke-tests the human-readable decision log:
+// header, transfer grouping, and the Eq. 1/Eq. 2 lines for an ECF
+// decision.
+func TestDecisionLogFormat(t *testing.T) {
+	rec := NewCellRecorder("log-test", 0)
+	rec.Decisions.RecordDecision(&SchedDecision{
+		At: time.Millisecond, Scheduler: "ecf", Transfer: 0, Chosen: "wifi",
+		Reason:     "fast subflow has window space",
+		Candidates: []SchedCandidate{{Name: "wifi", CanSend: true}},
+		Ecf:        &EcfQuantities{GuardUsed: true},
+	})
+	rec.Decisions.RecordDecision(&SchedDecision{
+		At: 2 * time.Millisecond, Scheduler: "ecf", Transfer: 1, Wait: true,
+		Reason: "wait for fast subflow (Eq. 1 holds, Eq. 2 holds)",
+	})
+	var buf bytes.Buffer
+	if err := rec.WriteDecisionLog(&buf); err != nil {
+		t.Fatalf("WriteDecisionLog: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cell log-test/0", "== transfer 0 ==", "== transfer 1 ==", "wifi", "wait", "eq1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("decision log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunReportRoundTrip writes a report to disk and reads it back,
+// checking the schema fields a dashboard would key on.
+func TestRunReportRoundTrip(t *testing.T) {
+	rep := NewRunReport("quick", 4)
+	rep.Experiments = append(rep.Experiments, ExperimentReport{
+		Name: "fig9", WallClockMs: 12.5, CacheComputed: 144,
+		EventsProcessed: 1000, EventsCoalesced: 24, EventsTotal: 1024,
+		PacketsDelivered: 800, OutputBytes: 4096, OutputSHA256: "abc",
+	})
+	rep.WallClockMs = 13
+	rep.OutputSHA256 = "def"
+	rep.Mem = CaptureMemStats()
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Error("report file does not end in a newline")
+	}
+	var got RunReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Tool != "ecfbench" || got.SchemaVersion != 1 {
+		t.Errorf("identity = %s/v%d, want ecfbench/v1", got.Tool, got.SchemaVersion)
+	}
+	if got.Scale != "quick" || got.Workers != 4 {
+		t.Errorf("scale/workers = %s/%d, want quick/4", got.Scale, got.Workers)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0].Name != "fig9" ||
+		got.Experiments[0].EventsTotal != 1024 || got.Experiments[0].OutputSHA256 != "abc" {
+		t.Errorf("experiments did not round-trip: %+v", got.Experiments)
+	}
+	// The JSON keys are the machine-readable contract; spot-check the
+	// snake_case names a consumer greps for.
+	for _, key := range []string{"schema_version", "wall_clock_ms", "events_coalesced", "output_sha256", "heap_alloc_bytes"} {
+		if !bytes.Contains(raw, []byte(`"`+key+`"`)) {
+			t.Errorf("report JSON missing key %q", key)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// ExperimentReport is the per-experiment section of a run report. The
+// event and packet counters are per-experiment deltas of the process
+// counters (sim.TotalEvents, netsim.TotalDelivered) taken around the
+// experiment's run; because the simulation is deterministic they are
+// identical for any worker count.
+type ExperimentReport struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	WallClockMs float64 `json:"wall_clock_ms"`
+	// CacheHits/CacheComputed are the result-cache deltas for this
+	// experiment (cells served from the store vs simulated).
+	CacheHits     int64 `json:"cache_hits"`
+	CacheComputed int64 `json:"cache_computed"`
+	// EventsProcessed/EventsCoalesced/EventsTotal are engine dispatch
+	// counts (heap dispatches, inline claims, and their sum).
+	EventsProcessed uint64 `json:"events_processed"`
+	EventsCoalesced uint64 `json:"events_coalesced"`
+	EventsTotal     uint64 `json:"events_total"`
+	// PacketsDelivered counts link deliveries (loss included).
+	PacketsDelivered int64 `json:"packets_delivered"`
+	// Sharded marks an experiment that printed a shard placeholder
+	// instead of its report (its OutputSHA256 hashes that placeholder).
+	Sharded bool `json:"sharded"`
+	// OutputBytes/OutputSHA256 cover the experiment's exact stdout
+	// block (header line + report + blank line) — the golden-output
+	// fingerprint a coordinator can compare across runs and hosts.
+	OutputBytes  int    `json:"output_bytes"`
+	OutputSHA256 string `json:"output_sha256"`
+}
+
+// MemStats is the heap/GC summary of a run report.
+type MemStats struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	SysBytes        uint64  `json:"sys_bytes"`
+	NumGC           uint32  `json:"num_gc"`
+	PauseTotalNs    uint64  `json:"pause_total_ns"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
+}
+
+// CaptureMemStats snapshots the process heap/GC state.
+func CaptureMemStats() MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemStats{
+		HeapAllocBytes:  m.HeapAlloc,
+		TotalAllocBytes: m.TotalAlloc,
+		SysBytes:        m.Sys,
+		NumGC:           m.NumGC,
+		PauseTotalNs:    m.PauseTotalNs,
+		GCCPUFraction:   m.GCCPUFraction,
+	}
+}
+
+// RunReport is the machine-readable run summary ecfbench -report-json
+// emits — the artifact an ecfd sweep worker ships to its coordinator.
+type RunReport struct {
+	Tool          string `json:"tool"`
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	// Scale and Workers echo the run configuration (Workers resolved,
+	// never 0).
+	Scale       string             `json:"scale"`
+	Workers     int                `json:"workers"`
+	WallClockMs float64            `json:"wall_clock_ms"`
+	Experiments []ExperimentReport `json:"experiments"`
+	// OutputSHA256 hashes the run's whole stdout.
+	OutputSHA256 string   `json:"output_sha256"`
+	Mem          MemStats `json:"mem"`
+}
+
+// NewRunReport returns a report with the environment fields filled in.
+func NewRunReport(scale string, workers int) *RunReport {
+	return &RunReport{
+		Tool:          "ecfbench",
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Scale:         scale,
+		Workers:       workers,
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

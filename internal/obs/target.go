@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The process-wide trace target. At most one cell per run is traced;
+// selection happens before any cell runs (ecfbench parses -trace-cell
+// and calls SetTraceTarget before starting the sweep), so the string
+// fields need no lock of their own — only `enabled` is read while
+// cells are in flight, and it is atomic.
+var (
+	traceGate    sync.RWMutex
+	traceEnabled atomic.Bool
+	targetExp    string
+	targetCell   int
+	armedRec     atomic.Pointer[CellRecorder]
+	capturedRec  atomic.Pointer[CellRecorder]
+)
+
+// SetTraceTarget selects the cell to trace, identified by its
+// results.Spec experiment name and cell index. It must be called
+// before any cell runs and clears a previously captured recorder.
+func SetTraceTarget(experiment string, cell int) {
+	targetExp = experiment
+	targetCell = cell
+	capturedRec.Store(nil)
+	traceEnabled.Store(true)
+}
+
+// ClearTraceTarget disables tracing (the captured recorder, if any,
+// stays retrievable).
+func ClearTraceTarget() {
+	traceEnabled.Store(false)
+	armedRec.Store(nil)
+}
+
+// TraceEnabled reports whether a trace target is set. Callers on the
+// per-cell path check this first so the no-target case costs one
+// atomic load.
+func TraceEnabled() bool { return traceEnabled.Load() }
+
+// EnterCell brackets one cell run. The target cell takes the trace
+// gate's write lock and arms a fresh CellRecorder — it computes alone,
+// so only its own object graph can observe the armed recorder — and
+// its release captures the recorder for CapturedCell. Every other cell
+// takes the read lock and runs concurrently as usual. The returned
+// release func must be called exactly once when the cell finishes.
+func EnterCell(experiment string, cell int) (traced bool, release func()) {
+	if traceEnabled.Load() && experiment == targetExp && cell == targetCell {
+		traceGate.Lock()
+		rec := NewCellRecorder(experiment, cell)
+		armedRec.Store(rec)
+		return true, func() {
+			armedRec.Store(nil)
+			capturedRec.Store(rec)
+			traceGate.Unlock()
+		}
+	}
+	traceGate.RLock()
+	return false, traceGate.RUnlock
+}
+
+// ArmedCell returns the recorder armed for the currently-running
+// traced cell, or nil. core.NewNetwork calls this to decide whether to
+// install instrumentation on the network it is about to hand out.
+func ArmedCell() *CellRecorder { return armedRec.Load() }
+
+// CapturedCell returns the recorder of the last completed traced cell,
+// or nil if the target never ran (wrong -exp/-scale/-shard selection,
+// or a name that matches no cell).
+func CapturedCell() *CellRecorder { return capturedRec.Load() }

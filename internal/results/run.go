@@ -3,6 +3,7 @@ package results
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -43,12 +44,22 @@ func Add[T any](b *Batch, spec Spec, n int, compute func(i int) T, collect func(
 
 // runCell executes one cell under the session policy.
 func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect func(int, T)) error {
-	if s == nil {
-		collect(i, compute(i))
+	if s != nil && s.Enumerate {
+		s.noteGroup(spec)
 		return nil
 	}
-	if s.Enumerate {
-		s.noteGroup(spec)
+	// Flight-recorder gate: the traced cell takes the trace gate's
+	// write lock (computing alone, so only its object graph observes
+	// the armed recorder); all other cells take the read lock. With no
+	// trace target the check is a single atomic load.
+	traced := false
+	if obs.TraceEnabled() {
+		var release func()
+		traced, release = obs.EnterCell(spec.Experiment, i)
+		defer release()
+	}
+	if s == nil {
+		collect(i, compute(i))
 		return nil
 	}
 	k := spec.key(i)
@@ -64,7 +75,10 @@ func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect f
 	if !s.Shard.Covers(i) {
 		return nil
 	}
-	if s.Store != nil {
+	// A traced cell must actually simulate — a cache hit would leave
+	// the recorder empty — so it skips the read path (its fresh record
+	// still overwrites the stored one below, byte-identical).
+	if s.Store != nil && !traced {
 		var v T
 		if s.Store.Get(k, &v) {
 			s.hits.Add(1)

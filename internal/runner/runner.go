@@ -30,6 +30,13 @@ type Pool struct {
 	// Workers bounds concurrency. Zero or negative selects
 	// runtime.GOMAXPROCS(0). The job results never depend on it.
 	Workers int
+	// OnProgress, when non-nil, is called after every job finishes
+	// (failed and cancelled-after-dispatch jobs included) with the
+	// number completed so far and the batch total. Calls may come from
+	// any worker goroutine concurrently; the callback must be
+	// goroutine-safe and fast (it runs on the worker's critical path).
+	// Like Workers it can never affect job results — it only observes.
+	OnProgress func(done, total int)
 }
 
 // New returns a pool bounded to the given worker count (0 = GOMAXPROCS).
@@ -101,6 +108,7 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i
 
 	var (
 		next     atomic.Int64
+		done     atomic.Int64
 		mu       sync.Mutex
 		errJob   = n // lowest failing index seen so far
 		firstErr error
@@ -139,6 +147,9 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i
 					return
 				}
 				runOne(i)
+				if p.OnProgress != nil {
+					p.OnProgress(int(done.Add(1)), n)
+				}
 			}
 		}()
 	}
@@ -161,7 +172,11 @@ func (p Pool) serial(ctx context.Context, n int, fn func(ctx context.Context, i 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := p.serialOne(ctx, i, fn); err != nil {
+		err := p.serialOne(ctx, i, fn)
+		if p.OnProgress != nil {
+			p.OnProgress(i+1, n)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"repro/internal/mptcp"
+	"repro/internal/obs"
 	"repro/internal/tcp"
 )
 
@@ -30,6 +31,9 @@ type BLEST struct {
 
 	lastStalls int64
 	waits      int64
+	// sink, when non-nil, receives one record per Select call (decision
+	// tracing; installed only on the traced cell, cleared by Reset).
+	sink obs.DecisionSink
 }
 
 // NewBLEST returns a BLEST scheduler with λ = 1.
@@ -47,7 +51,11 @@ func (b *BLEST) Reset() {
 	b.Lambda = 1.0
 	b.lastStalls = 0
 	b.waits = 0
+	b.sink = nil
 }
+
+// SetDecisionSink implements obs.DecisionRecording.
+func (b *BLEST) SetDecisionSink(s obs.DecisionSink) { b.sink = s }
 
 // Waits reports how many Select calls declined the slow subflow.
 func (b *BLEST) Waits() int64 { return b.waits }
@@ -57,13 +65,22 @@ func (b *BLEST) Select(c *mptcp.Conn) *tcp.Subflow {
 	subflows := c.Subflows()
 	xf := fastestOverall(subflows)
 	if xf == nil {
+		if b.sink != nil {
+			recordDecision(b.sink, c, "blest", nil, false, "no subflows", nil)
+		}
 		return nil
 	}
 	if xf.CanSend() {
+		if b.sink != nil {
+			recordDecision(b.sink, c, "blest", xf, false, "fast subflow has window space", nil)
+		}
 		return xf
 	}
 	xs := fastestAvailable(subflows)
 	if xs == nil {
+		if b.sink != nil {
+			recordDecision(b.sink, c, "blest", nil, false, "fast subflow full, no alternative with window space", nil)
+		}
 		return nil
 	}
 
@@ -79,18 +96,41 @@ func (b *BLEST) Select(c *mptcp.Conn) *tcp.Subflow {
 		}
 	}
 
-	if blestDecide(blestInput{
+	in := blestInput{
 		RTTF:      effSrtt(xf).Seconds(),
 		RTTS:      effSrtt(xs).Seconds(),
 		CwndF:     xf.CwndSegments(),
 		MSS:       float64(c.MSS()),
 		FreeBytes: float64(c.SendWindowFreeBytes()),
 		InflightS: float64(xs.InflightBytes()),
-	}, b.Lambda) {
+	}
+	skip := blestDecide(in, b.Lambda)
+	if b.sink != nil {
+		b.recordEstimate(c, in, skip, xs)
+	}
+	if skip {
 		b.waits++
 		return nil
 	}
 	return xs
+}
+
+// recordEstimate records a decision that reached the blocking estimate.
+func (b *BLEST) recordEstimate(c *mptcp.Conn, in blestInput, skip bool, xs *tcp.Subflow) {
+	ev := blestEvaluate(in, b.Lambda)
+	q := &obs.BlestQuantities{
+		RTTF: in.RTTF, RTTS: in.RTTS, CwndF: in.CwndF,
+		X: ev.x, Lambda: b.Lambda,
+		FreeBytes: in.FreeBytes, OccupiedBytes: ev.occupied,
+	}
+	chosen, reason := xs, "slow subflow fits the send window"
+	if skip {
+		chosen, reason = nil, "skip slow subflow: occupying the send window for one slow RTT would block the fast subflow"
+	} else if in.RTTF <= 0 || in.RTTS <= 0 {
+		reason = "no RTT estimates yet: default policy"
+	}
+	recordDecision(b.sink, c, "blest", chosen, skip, reason,
+		func(d *obs.SchedDecision) { d.Blest = q })
 }
 
 // blestInput carries the quantities of the BLEST blocking estimate.
@@ -102,13 +142,28 @@ type blestInput struct {
 	InflightS  float64 // slow subflow's unacked bytes
 }
 
-// blestDecide returns true when the slow subflow should be skipped.
-func blestDecide(in blestInput, lambda float64) bool {
+// blestEval carries the evaluated terms of the blocking estimate.
+type blestEval struct {
+	x        float64 // bytes the fast subflow could send in one slow RTT
+	occupied float64 // slow inflight plus the segment under decision
+	skip     bool
+}
+
+// blestEvaluate computes the blocking estimate without side effects.
+func blestEvaluate(in blestInput, lambda float64) blestEval {
 	if in.RTTF <= 0 || in.RTTS <= 0 {
-		return false // no estimates yet: behave like the default
+		return blestEval{} // no estimates yet: behave like the default
 	}
 	rtts := in.RTTS / in.RTTF
-	x := in.MSS * (in.CwndF + (rtts-1)/2) * rtts
-	occupied := in.InflightS + in.MSS
-	return x*lambda > in.FreeBytes-occupied
+	ev := blestEval{
+		x:        in.MSS * (in.CwndF + (rtts-1)/2) * rtts,
+		occupied: in.InflightS + in.MSS,
+	}
+	ev.skip = ev.x*lambda > in.FreeBytes-ev.occupied
+	return ev
+}
+
+// blestDecide returns true when the slow subflow should be skipped.
+func blestDecide(in blestInput, lambda float64) bool {
+	return blestEvaluate(in, lambda).skip
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"repro/internal/mptcp"
+	"repro/internal/obs"
 	"repro/internal/tcp"
 )
 
@@ -24,6 +25,9 @@ type DAPS struct {
 	// in the connection's creation order, so the counters are a dense
 	// slice rather than a map hashed on every scheduling decision.
 	credit []float64
+	// sink, when non-nil, receives one record per Select call (decision
+	// tracing; installed only on the traced cell, cleared by Reset).
+	sink obs.DecisionSink
 }
 
 // NewDAPS returns a DAPS scheduler.
@@ -36,7 +40,11 @@ func (*DAPS) Name() string { return "daps" }
 // keeps its capacity for the next connection's subflows).
 func (d *DAPS) Reset() {
 	d.credit = d.credit[:0]
+	d.sink = nil
 }
+
+// SetDecisionSink implements obs.DecisionRecording.
+func (d *DAPS) SetDecisionSink(s obs.DecisionSink) { d.sink = s }
 
 // rate returns a subflow's service rate in segments/second.
 func dapsRate(sf *tcp.Subflow) float64 {
@@ -66,6 +74,9 @@ func (d *DAPS) Select(c *mptcp.Conn) *tcp.Subflow {
 		}
 	}
 	if !anyAvailable || sum <= 0 {
+		if d.sink != nil {
+			recordDecision(d.sink, c, "daps", nil, false, "no subflow with window space", nil)
+		}
 		return nil
 	}
 	// Credit every subflow with its share of one segment.
@@ -83,5 +94,15 @@ func (d *DAPS) Select(c *mptcp.Conn) *tcp.Subflow {
 		}
 	}
 	d.credit[best.ID()]--
+	if d.sink != nil {
+		recordDecision(d.sink, c, "daps", best, false, "largest deficit credit among available subflows",
+			func(dec *obs.SchedDecision) {
+				for i := range dec.Candidates {
+					if id := subflows[i].ID(); id < len(d.credit) {
+						dec.Candidates[i].Score = d.credit[id]
+					}
+				}
+			})
+	}
 	return best
 }

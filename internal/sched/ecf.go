@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mptcp"
+	"repro/internal/obs"
 	"repro/internal/tcp"
 )
 
@@ -42,6 +43,9 @@ type ECF struct {
 
 	waiting bool
 	waits   int64
+	// sink, when non-nil, receives one record per Select call (decision
+	// tracing; installed only on the traced cell, cleared by Reset).
+	sink obs.DecisionSink
 }
 
 // NewECF returns an ECF scheduler with the paper's parameters (β = 0.25,
@@ -59,7 +63,11 @@ func (*ECF) Name() string { return "ecf" }
 func (e *ECF) Reset() {
 	e.waiting = false
 	e.waits = 0
+	e.sink = nil
 }
+
+// SetDecisionSink implements obs.DecisionRecording.
+func (e *ECF) SetDecisionSink(s obs.DecisionSink) { e.sink = s }
 
 // Waits reports how many Select calls chose to wait for the fast subflow.
 func (e *ECF) Waits() int64 { return e.waits }
@@ -72,14 +80,23 @@ func (e *ECF) Select(c *mptcp.Conn) *tcp.Subflow {
 	subflows := c.Subflows()
 	xf := fastestOverall(subflows)
 	if xf == nil {
+		if e.sink != nil {
+			recordDecision(e.sink, c, "ecf", nil, false, "no subflows", nil)
+		}
 		return nil
 	}
 	if xf.CanSend() {
+		if e.sink != nil {
+			recordDecision(e.sink, c, "ecf", xf, false, "fast subflow has window space", nil)
+		}
 		return xf
 	}
 	// x_f is full: candidate per the default policy.
 	xs := fastestAvailable(subflows)
 	if xs == nil {
+		if e.sink != nil {
+			recordDecision(e.sink, c, "ecf", nil, false, "fast subflow full, no alternative with window space", nil)
+		}
 		return nil
 	}
 
@@ -99,12 +116,45 @@ func (e *ECF) Select(c *mptcp.Conn) *tcp.Subflow {
 		Delta:           delta,
 		FastInSlowStart: e.SlowStartAware && xf.InSlowStart(),
 	}
+	hysteresis := e.waiting
 	wait := ecfDecide(in, &e.waiting, e.Beta, e.UseGuard)
+	if e.sink != nil {
+		e.recordEstimate(c, in, hysteresis, wait, xs)
+	}
 	if wait {
 		e.waits++
 		return nil
 	}
 	return xs
+}
+
+// recordEstimate records a decision that reached the Eq. 1–2 estimate,
+// re-evaluating the inequalities under the pre-decision hysteresis
+// state so the recorded quantities are exactly what ecfDecide compared.
+func (e *ECF) recordEstimate(c *mptcp.Conn, in ecfInput, hysteresis, wait bool, xs *tcp.Subflow) {
+	ev := ecfEvaluate(in, hysteresis, e.Beta, e.UseGuard)
+	q := &obs.EcfQuantities{
+		K: in.K, CwndF: in.CwndF, CwndS: in.CwndS,
+		RTTF: in.RTTF, RTTS: in.RTTS, Delta: in.Delta,
+		N: ev.n, Beta: e.Beta, Hysteresis: hysteresis,
+		LHS: ev.lhs, RHS: ev.rhs, WaitTest: ev.waitTest,
+		GuardLHS: ev.guardLHS, GuardRHS: ev.guardRHS,
+		GuardOK: ev.guardOK, GuardUsed: e.UseGuard,
+	}
+	var chosen *tcp.Subflow
+	reason := "wait for fast subflow (Eq. 1 holds"
+	switch {
+	case wait && e.UseGuard:
+		reason += ", Eq. 2 holds)"
+	case wait:
+		reason += ", Eq. 2 disabled)"
+	case ev.waitTest:
+		chosen, reason = xs, "Eq. 1 holds but Eq. 2 fails: slow subflow drains the backlog fast enough"
+	default:
+		chosen, reason = xs, "using slow subflow finishes sooner (Eq. 1 fails)"
+	}
+	recordDecision(e.sink, c, "ecf", chosen, wait, reason,
+		func(d *obs.SchedDecision) { d.Ecf = q })
 }
 
 // ecfInput carries the quantities of Algorithm 1 in segment/second units.
@@ -118,10 +168,19 @@ type ecfInput struct {
 	FastInSlowStart bool
 }
 
-// ecfDecide evaluates Algorithm 1 and updates the hysteresis state in
-// place. It returns true when the scheduler should send nothing and wait
-// for the fast subflow.
-func ecfDecide(in ecfInput, waiting *bool, beta float64, useGuard bool) bool {
+// ecfEval carries the evaluated terms of Algorithm 1's inequalities —
+// what ecfDecide compares and what decision traces record.
+type ecfEval struct {
+	n, lhs, rhs        float64 // Eq. 1: lhs < rhs means waiting wins
+	waitTest           bool
+	guardLHS, guardRHS float64 // Eq. 2: guardLHS >= guardRHS confirms
+	guardOK            bool
+	wait               bool // the verdict under the given guard setting
+}
+
+// ecfEvaluate computes Algorithm 1's inequalities under the given
+// hysteresis state, without side effects.
+func ecfEvaluate(in ecfInput, waiting bool, beta float64, useGuard bool) ecfEval {
 	k := in.K
 	if k < 1 {
 		k = 1
@@ -141,20 +200,39 @@ func ecfDecide(in ecfInput, waiting *bool, beta float64, useGuard bool) bool {
 		n = 1 + math.Log2(1+k/cwndF)
 	}
 	b := 0.0
-	if *waiting {
+	if waiting {
 		b = beta
 	}
-	if n*in.RTTF < (1+b)*(in.RTTS+in.Delta) {
-		// Waiting for x_f would complete sooner than using x_s now —
-		// unless x_s can drain the backlog faster than two fast-path
-		// round trips (the guard).
-		if !useGuard || k/cwndS*in.RTTS >= 2*in.RTTF+in.Delta {
-			*waiting = true
-			return true
-		}
-		return false
+	ev := ecfEval{
+		n:        n,
+		lhs:      n * in.RTTF,
+		rhs:      (1 + b) * (in.RTTS + in.Delta),
+		guardLHS: k / cwndS * in.RTTS,
+		guardRHS: 2*in.RTTF + in.Delta,
 	}
-	*waiting = false
+	ev.waitTest = ev.lhs < ev.rhs
+	ev.guardOK = ev.guardLHS >= ev.guardRHS
+	// Waiting for x_f completes sooner than using x_s now (Eq. 1) —
+	// unless x_s can drain the backlog faster than two fast-path round
+	// trips (Eq. 2, the guard).
+	ev.wait = ev.waitTest && (!useGuard || ev.guardOK)
+	return ev
+}
+
+// ecfDecide evaluates Algorithm 1 and updates the hysteresis state in
+// place. It returns true when the scheduler should send nothing and wait
+// for the fast subflow. A guard-rejected wait leaves the hysteresis
+// state untouched: Eq. 1 still held, so the next decision keeps the
+// waiting bias.
+func ecfDecide(in ecfInput, waiting *bool, beta float64, useGuard bool) bool {
+	ev := ecfEvaluate(in, *waiting, beta, useGuard)
+	if ev.wait {
+		*waiting = true
+		return true
+	}
+	if !ev.waitTest {
+		*waiting = false
+	}
 	return false
 }
 

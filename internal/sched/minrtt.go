@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/mptcp"
+	"repro/internal/obs"
 	"repro/internal/tcp"
 )
 
@@ -54,7 +55,11 @@ func fastestOverall(subflows []*tcp.Subflow) *tcp.Subflow {
 // — filling the slow path whenever the fast path's window is full,
 // leaving the fast path idle at burst tails — is the problem the paper
 // diagnoses in §3.
-type MinRTT struct{}
+type MinRTT struct {
+	// sink, when non-nil, receives one record per Select call (decision
+	// tracing; installed only on the traced cell, cleared by Reset).
+	sink obs.DecisionSink
+}
 
 // NewMinRTT returns the default scheduler.
 func NewMinRTT() *MinRTT { return &MinRTT{} }
@@ -62,12 +67,23 @@ func NewMinRTT() *MinRTT { return &MinRTT{} }
 // Name implements mptcp.Scheduler.
 func (*MinRTT) Name() string { return "minrtt" }
 
-// Reset implements mptcp.Resettable (MinRTT carries no state).
-func (*MinRTT) Reset() {}
+// Reset implements mptcp.Resettable (the only state is the trace sink).
+func (m *MinRTT) Reset() { m.sink = nil }
+
+// SetDecisionSink implements obs.DecisionRecording.
+func (m *MinRTT) SetDecisionSink(s obs.DecisionSink) { m.sink = s }
 
 // Select implements mptcp.Scheduler.
-func (*MinRTT) Select(c *mptcp.Conn) *tcp.Subflow {
-	return fastestAvailable(c.Subflows())
+func (m *MinRTT) Select(c *mptcp.Conn) *tcp.Subflow {
+	best := fastestAvailable(c.Subflows())
+	if m.sink != nil {
+		reason := "lowest-RTT subflow with window space"
+		if best == nil {
+			reason = "no subflow with window space"
+		}
+		recordDecision(m.sink, c, "minrtt", best, false, reason, nil)
+	}
+	return best
 }
 
 // RoundRobin cycles through available subflows regardless of RTT. It is

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/mptcp"
+	"repro/internal/obs"
 )
 
 // factories maps scheduler names to constructors. Each connection gets a
@@ -28,6 +29,18 @@ func Factory(name string) (mptcp.SchedulerFactory, error) {
 		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
 	}
 	return f, nil
+}
+
+// WireDecisionSink attaches sink to s when it supports decision
+// tracing (ECF, BLEST, DAPS, minRTT), reporting whether it does. A nil
+// sink detaches. Schedulers without per-decision estimates (redundant,
+// round-robin, single-path) simply decline.
+func WireDecisionSink(s mptcp.Scheduler, sink obs.DecisionSink) bool {
+	r, ok := s.(obs.DecisionRecording)
+	if ok {
+		r.SetDecisionSink(sink)
+	}
+	return ok
 }
 
 // Names returns the registered scheduler names, sorted.

@@ -77,6 +77,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Time is a point in virtual time, measured from the simulation epoch (0).
@@ -258,6 +260,11 @@ type Engine struct {
 	// whether a same-instant sub-event logically precedes the running
 	// event — see CurrentTicket.
 	curSeq uint64
+	// flight, when non-nil, records every dispatch (heap and inline
+	// claims) into a fixed-capacity ring. It is installed only on the
+	// engine of a traced cell and cleared by Reset; on every other
+	// engine each dispatch pays one nil check.
+	flight *obs.FlightRecorder
 }
 
 // New returns an empty Engine positioned at time 0.
@@ -310,7 +317,13 @@ func (e *Engine) Reset() {
 	e.stopped = false
 	e.limit = noRunLimit
 	e.curSeq = uint64(idleTicket)
+	e.flight = nil
 }
+
+// SetFlightRecorder installs (or with nil removes) the dispatch
+// recorder. Reset also removes it, so a pooled engine never carries a
+// recorder into its next cell.
+func (e *Engine) SetFlightRecorder(r *obs.FlightRecorder) { e.flight = r }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -437,6 +450,9 @@ func (e *Engine) RunsNext(t Time, tk Ticket) bool {
 	e.now = t
 	e.coalesced++
 	e.curSeq = uint64(tk)
+	if e.flight != nil {
+		e.flight.Record(obs.EngineEvent{At: t, Ticket: uint64(tk), Kind: obs.KindCoalesced, Coalesced: true})
+	}
 	return true
 }
 
@@ -504,6 +520,9 @@ func (e *Engine) Step() bool {
 	e.now = ent.at
 	e.processed++
 	e.curSeq = ent.seq
+	if e.flight != nil {
+		e.flight.Record(obs.EngineEvent{At: ent.at, Ticket: ent.seq, Kind: uint8(ent.kind), Tag: ent.slot})
+	}
 	arg := e.arena[ent.slot].arg
 	// Retire the slot before running the handler so the event can
 	// reschedule (reusing this very slot) and so its own handle is

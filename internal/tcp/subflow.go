@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -201,6 +202,12 @@ type Subflow struct {
 
 	// debugHook, when set, observes recovery events (tests only).
 	debugHook func(ev string, args ...interface{})
+
+	// obsRec, when non-nil, records send/ACK/recovery events for the
+	// flight recorder. It is installed only on the subflows of a traced
+	// cell and cleared by Reset; everywhere else each hook costs one nil
+	// check.
+	obsRec *obs.SubflowRecorder
 }
 
 // NewSubflow wires a sender onto path's forward link; ACKs arriving on the
@@ -266,7 +273,31 @@ func (s *Subflow) Reset(cfg Config, path *netsim.Path, ctrl cc.Controller, conn 
 	s.nextPacedAt = 0
 	s.stats = SubflowStats{}
 	s.debugHook = nil
+	s.obsRec = nil
 	ctrl.Register(s)
+}
+
+// SetObserver installs (or with nil removes) the subflow-event
+// recorder. Reset also removes it, so a pooled subflow never carries a
+// recorder into its next cell.
+func (s *Subflow) SetObserver(r *obs.SubflowRecorder) { s.obsRec = r }
+
+// observe records one subflow event; callers guard with obsRec != nil
+// so the disabled path never reaches the call.
+func (s *Subflow) observe(op obs.SubflowOp, seq, ack int64) {
+	s.obsRec.Record(obs.SubflowEvent{
+		At:           s.eng.Now(),
+		Op:           op,
+		Name:         s.cfg.Name,
+		ConnID:       s.cfg.ConnID,
+		ID:           s.cfg.ID,
+		Seq:          seq,
+		AckSeq:       ack,
+		Cwnd:         s.cwnd,
+		Ssthresh:     s.ssthresh,
+		InflightSegs: s.inflightSegs,
+		Srtt:         s.rtt.Srtt(),
+	})
 }
 
 // ID returns the subflow index.
@@ -539,6 +570,9 @@ func (s *Subflow) transmit(seg *segment) {
 	// A full drop-tail queue silently discards; recovery comes from
 	// dup-ACKs or the RTO, like on a real path.
 	s.path.Forward().Send(pkt)
+	if s.obsRec != nil {
+		s.observe(obs.SfSend, seg.seq, 0)
+	}
 	s.armRTO()
 }
 
@@ -611,6 +645,9 @@ func (s *Subflow) onRTO() {
 	s.dupSacked = 0
 	if s.rtoBackoff < 64 {
 		s.rtoBackoff *= 2
+	}
+	if s.obsRec != nil {
+		s.observe(obs.SfRTO, s.sndUna, 0)
 	}
 	if seg := s.unaSegment(); seg != nil {
 		seg.rtx++
@@ -709,6 +746,9 @@ func (s *Subflow) processNewAck(p *netsim.Packet) {
 			s.ctrl.OnAck(s, acked)
 		}
 	}
+	if s.obsRec != nil {
+		s.observe(obs.SfAck, s.sndUna, p.AckSeq)
+	}
 	s.armRTO()
 }
 
@@ -751,6 +791,9 @@ func (s *Subflow) fastRetransmit() {
 	s.recoveryPoint = s.nextSeq
 	s.stats.FastRetransmits++
 	s.stats.Retransmits++
+	if s.obsRec != nil {
+		s.observe(obs.SfFastRtx, s.sndUna, 0)
+	}
 	seg.rtx++
 	s.transmit(seg)
 }
