@@ -9,6 +9,8 @@
 //	ecfbench -exp all -cache-dir cache            # cache cells; rerun is instant
 //	ecfbench -exp all -cache-dir cache -shard 0/2 # simulate half the cells
 //	ecfbench -exp all -cache-dir cache -merge     # assemble purely from cache
+//	ecfbench -join host:7468                      # lease-loop worker for `ecfd serve`
+//	ecfbench -exp all -cell-timeout 2m            # fail loudly if one cell wedges
 //	ecfbench -cache-dir cache -cache-stats        # audit what occupies the store
 //	ecfbench -cache-dir cache -cache-prune -dry-run  # preview stale-group cleanup
 //	ecfbench -cache-dir cache -cache-prune        # delete groups no current run reads
@@ -27,7 +29,12 @@
 // record keyed by (experiment, cell, scale, schema); -shard i/n
 // simulates only the cells with index%n == i (for splitting a sweep
 // across machines); -merge renders everything from cached records
-// alone and fails naming the first missing cell.
+// alone and fails listing every missing cell, grouped by experiment,
+// with the exact command to backfill them. -join turns the process
+// into a lease-loop worker for a `ecfd serve` coordinator: claim a
+// batch of cells, simulate, upload, heartbeat — with retry/backoff on
+// every RPC and work-stealing semantics when a worker dies (see
+// internal/coord).
 package main
 
 import (
@@ -123,10 +130,13 @@ func failUsage(format string, args ...any) {
 
 // newSession builds the cache/shard policy from the flags, validating
 // combinations and probing the cache dir up front.
-func newSession(cacheDir, shardStr string, merge, noCache bool) *results.Session {
+func newSession(cacheDir, shardStr string, merge, noCache bool, cellTimeout time.Duration) *results.Session {
 	if noCache {
 		if shardStr != "" || merge {
 			failUsage("-no-cache cannot be combined with -shard or -merge (both need the store)")
+		}
+		if cellTimeout > 0 {
+			return &results.Session{CellTimeout: cellTimeout}
 		}
 		return nil
 	}
@@ -136,6 +146,9 @@ func newSession(cacheDir, shardStr string, merge, noCache bool) *results.Session
 		}
 		if merge {
 			failUsage("-merge requires -cache-dir (it renders from cached records)")
+		}
+		if cellTimeout > 0 {
+			return &results.Session{CellTimeout: cellTimeout}
 		}
 		return nil
 	}
@@ -161,7 +174,55 @@ func newSession(cacheDir, shardStr string, merge, noCache bool) *results.Session
 	if err != nil {
 		fail("%v", err)
 	}
-	return &results.Session{Store: store, Shard: shard, Merge: merge}
+	// A merge collects every missing cell instead of failing on the
+	// first, so one pass reports the sweep's complete hole list with
+	// the command to backfill it.
+	return &results.Session{Store: store, Shard: shard, Merge: merge, CollectMisses: merge, CellTimeout: cellTimeout}
+}
+
+// reportMissing renders a failed merge's complete hole list on stderr,
+// grouped by record family, with the exact commands that backfill the
+// missing cells, then exits 1. A plain cached run recomputes exactly
+// the missing cells (hits are served from the store), so the backfill
+// command is the ordinary sweep invocation — sharded or coordinated
+// for multi-machine backfills.
+func reportMissing(ses *results.Session, cacheDir, scaleName string) {
+	miss := ses.MissingCells()
+	type family struct {
+		exp    string
+		scale  string
+		schema int
+	}
+	order := []family{}
+	cells := map[family][]int{}
+	for _, k := range miss {
+		f := family{k.Experiment, k.Scale, k.Schema}
+		if _, seen := cells[f]; !seen {
+			order = append(order, f)
+		}
+		cells[f] = append(cells[f], k.Cell)
+	}
+	fmt.Fprintf(os.Stderr, "ecfbench: merge incomplete: %d cells missing across %d record families:\n", len(miss), len(order))
+	for _, f := range order {
+		idx := cells[f]
+		list := ""
+		for i, c := range idx {
+			if i == 16 {
+				list += fmt.Sprintf(" ... (+%d more)", len(idx)-i)
+				break
+			}
+			if i > 0 {
+				list += " "
+			}
+			list += strconv.Itoa(c)
+		}
+		fmt.Fprintf(os.Stderr, "  %s (schema %d, scale %q): %d cells: %s\n", f.exp, f.schema, f.scale, len(idx), list)
+	}
+	fmt.Fprintf(os.Stderr, "backfill, then re-run -merge:\n")
+	fmt.Fprintf(os.Stderr, "  one machine:   ecfbench -exp all -scale %s -cache-dir %s   (computes only the missing cells)\n", scaleName, cacheDir)
+	fmt.Fprintf(os.Stderr, "  N machines:    ecfbench -exp all -scale %s -cache-dir %s -shard i/N   (i = 0..N-1, then rsync the stores)\n", scaleName, cacheDir)
+	fmt.Fprintf(os.Stderr, "  coordinated:   ecfd serve -cache-dir %s -scale %s -addr :7468  +  ecfbench -join <host>:7468 per worker\n", cacheDir, scaleName)
+	os.Exit(1)
 }
 
 // runExperiment executes one driver, converting *results.FatalError
@@ -511,8 +572,34 @@ func main() {
 		reportOut = flag.String("report-json", "", "write a machine-readable run report (per-experiment wall clock, cache/event counters, output hashes, heap stats) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and a /debug/obs counter snapshot on this address (e.g. localhost:6060) for the life of the run")
 		progress  = flag.Bool("progress", false, "report cells completed/total with rate and ETA on stderr while sweeps run")
+		joinAddr  = flag.String("join", "", "join the ecfd coordinator at this host:port as a lease-loop worker (the coordinator dictates the scale)")
+		workerID  = flag.String("worker-id", "", "worker identity for -join leases and logs (default hostname-pid)")
+		cellTO    = flag.Duration("cell-timeout", 0, "per-cell wall-clock budget; a cell exceeding it fails loudly naming the experiment and cell index (0 = no deadline)")
 	)
 	flag.Parse()
+
+	if *cellTO < 0 {
+		failUsage("-cell-timeout must be a positive duration")
+	}
+	if *joinAddr != "" {
+		// Join mode is a worker loop: the coordinator owns the sweep
+		// definition, so flags that define or render a local sweep
+		// conflict with it.
+		conflicts := map[string]string{
+			"exp": "the coordinator sweeps the full catalog", "scale": "the coordinator dictates the scale",
+			"shard": "leases replace shards", "merge": "render from the coordinator's store after the sweep",
+			"no-cache": "join mode decides store use itself", "cache-stats": "runs alone", "cache-prune": "runs alone",
+			"trace-cell": "trace on a local run instead", "trace-out": "trace on a local run instead",
+			"decisions-out": "trace on a local run instead", "report-json": "reports cover local runs",
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if why, bad := conflicts[f.Name]; bad {
+				failUsage("-join cannot be combined with -%s (%s)", f.Name, why)
+			}
+		})
+		runJoin(*joinAddr, *jobs, *cacheDir, *cellTO, *workerID, *progress)
+		return
+	}
 
 	if *traceOut != "" && *traceCell == "" {
 		failUsage("-trace-out requires -trace-cell (nothing records without a target)")
@@ -594,7 +681,7 @@ func main() {
 		failUsage("unknown scale %q (full|quick)", *scale)
 	}
 	sc.Workers = *jobs
-	sc.Results = newSession(*cacheDir, *shardStr, *merge, *noCache)
+	sc.Results = newSession(*cacheDir, *shardStr, *merge, *noCache, *cellTO)
 	if *progress {
 		pp := &progressPrinter{}
 		sc.Progress = pp.note
@@ -623,6 +710,7 @@ func main() {
 		h0, c0 := sc.Results.Stats()
 		p0, c0ev := sim.TotalEvents()
 		dl0 := netsim.TotalDelivered()
+		miss0 := sc.Results.MissingCount()
 		start := time.Now()
 		out, err := runExperiment(e, sc)
 		if err != nil {
@@ -634,6 +722,11 @@ func main() {
 			// A shard pass fills the store; its result structures are
 			// partial, so the report is rendered by -merge instead.
 			block = fmt.Sprintf("=== %s (%s) — shard %s cached, render with -merge ===\n", e.name, e.desc, sc.Results.Shard)
+		} else if missed := sc.Results.MissingCount() - miss0; missed > 0 {
+			// A merge that found holes: the result structures are
+			// partial, so nothing is rendered for this experiment —
+			// the run ends with the full grouped hole report and exit 1.
+			fmt.Fprintf(os.Stderr, "ecfbench: %s: %d cells missing from the store; block suppressed\n", e.name, missed)
 		} else {
 			block = fmt.Sprintf("=== %s (%s) ===\n%s\n", e.name, e.desc, out)
 		}
@@ -693,6 +786,13 @@ func main() {
 		if !found {
 			failUsage("unknown experiment %q; use -list", *expName)
 		}
+	}
+
+	if *merge && sc.Results.MissingCount() > 0 {
+		// Every experiment ran, so the hole list is complete — one
+		// report covers the whole sweep instead of dying on the first
+		// missing cell.
+		reportMissing(sc.Results, *cacheDir, *scale)
 	}
 
 	if *traceCell != "" {

@@ -1,0 +1,491 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/results"
+	"repro/internal/runner"
+)
+
+// cellRec is the test catalog's record type. Compute is deterministic,
+// so every worker produces identical bytes for a cell — the contract
+// idempotent ingest leans on.
+type cellRec struct {
+	Cell  int
+	Value float64
+}
+
+func testSpec() results.Spec {
+	return results.Spec{Experiment: "unit/sweep", Schema: 1, Scale: "s"}
+}
+
+func computeCellRec(i int) cellRec { return cellRec{Cell: i, Value: float64(i) * 2.5} }
+
+// startServer builds a Server over a fresh store and serves it via
+// httptest. State persistence is exercised through the default path in
+// the store dir.
+func startServer(t *testing.T, dir string, n int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	if cfg.Cells == nil {
+		cfg.Cells = testCells(n)
+	}
+	if cfg.ScaleName == "" {
+		cfg.ScaleName = "s"
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// fastClient builds a worker client with millisecond backoff so retry
+// paths run in test time.
+func fastClient(url, worker string) *Client {
+	c := NewClient(url, worker)
+	c.Backoff = Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Attempts: 10}
+	return c
+}
+
+// passRunner adapts the test catalog to WorkerConfig.RunPass: one
+// results.Run over the spec's cells under the worker's session.
+func passRunner(n int, compute func(int) cellRec) func(*results.Session) error {
+	pool := runner.New(2)
+	return func(ses *results.Session) error {
+		return results.Run(context.Background(), pool, ses, testSpec(), n,
+			compute, func(int, cellRec) {})
+	}
+}
+
+// storeHasAll fails unless the store holds exactly one well-formed
+// record per cell.
+func storeHasAll(t *testing.T, dir string, n int) {
+	t.Helper()
+	store, err := results.OpenRead(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testCells(n) {
+		if !store.Has(k) {
+			t.Fatalf("store misses cell %d after sweep", k.Cell)
+		}
+	}
+	files := 0
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		base := filepath.Base(path)
+		if strings.HasSuffix(base, ".json") && !strings.HasPrefix(base, ".tmp-") && base != "coord-state.json" {
+			files++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != n {
+		t.Fatalf("store holds %d record files, want exactly %d (one per cell)", files, n)
+	}
+}
+
+func TestSweepTwoWorkersComplete(t *testing.T) {
+	const n = 24
+	dir := t.TempDir()
+	srv, hs := startServer(t, dir, n, Config{LeaseTTL: 5 * time.Second, BatchSize: 5})
+
+	var wg sync.WaitGroup
+	stats := make([]WorkerStats, 2)
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[w], errs[w] = RunWorker(context.Background(), WorkerConfig{
+				Client:       fastClient(hs.URL, fmt.Sprintf("w%d", w)),
+				RunPass:      passRunner(n, computeCellRec),
+				PollInterval: 5 * time.Millisecond,
+			})
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	st := srv.Status()
+	if !st.SweepDone || !st.Complete || st.Done != n || st.Failed != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := stats[0].Uploaded + stats[1].Uploaded; got < n {
+		t.Fatalf("workers uploaded %d records, want >= %d", got, n)
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("Done channel not closed after completion")
+	}
+	storeHasAll(t, dir, n)
+
+	// The final snapshot agrees with the table.
+	if err := srv.PersistState(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "coord-state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"done": 24`, `"scale": "s"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("snapshot %s lacks %q", raw, want)
+		}
+	}
+}
+
+// flakyTransport injects the three transient failure modes a worker
+// must ride out: requests dropped before they reach the server,
+// responses dropped after the server already executed the request (the
+// dangerous one — the retry replays a side effect), and 503s. Failures
+// hit a fixed schedule so the test is deterministic.
+type flakyTransport struct {
+	base http.RoundTripper
+	mu   sync.Mutex
+	n    int
+
+	dropped  int
+	executed int
+	busied   int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.n++
+	n := f.n
+	f.mu.Unlock()
+	switch {
+	case n%11 == 3:
+		f.mu.Lock()
+		f.dropped++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("injected: connection reset before send")
+	case n%11 == 7:
+		// Execute the request server-side, then lose the response: the
+		// client retries an RPC that already landed.
+		resp, err := f.base.RoundTrip(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		f.mu.Lock()
+		f.executed++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("injected: response dropped after execution")
+	case n%11 == 9:
+		f.mu.Lock()
+		f.busied++
+		f.mu.Unlock()
+		rec := httptest.NewRecorder()
+		rec.WriteHeader(http.StatusServiceUnavailable)
+		return rec.Result(), nil
+	}
+	return f.base.RoundTrip(req)
+}
+
+func TestFlakyTransportConvergesOnOneRecordPerCell(t *testing.T) {
+	const n = 30
+	dir := t.TempDir()
+	srv, hs := startServer(t, dir, n, Config{LeaseTTL: 500 * time.Millisecond, BatchSize: 4})
+
+	flaky := &flakyTransport{base: http.DefaultTransport}
+	client := fastClient(hs.URL, "flaky-worker")
+	client.HTTP = &http.Client{Transport: flaky, Timeout: 5 * time.Second}
+
+	stats, err := RunWorker(context.Background(), WorkerConfig{
+		Client:       client,
+		RunPass:      passRunner(n, computeCellRec),
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("worker over flaky transport: %v", err)
+	}
+	if flaky.dropped == 0 || flaky.executed == 0 || flaky.busied == 0 {
+		t.Fatalf("fault injection never fired: %+v", flaky)
+	}
+	st := srv.Status()
+	if !st.Complete || st.Done != n {
+		t.Fatalf("status = %+v", st)
+	}
+	// Executed-then-dropped ingests were replayed by the retry loop;
+	// idempotency must have absorbed them.
+	if st.Ingested != n {
+		t.Fatalf("ingested = %d, want %d", st.Ingested, n)
+	}
+	storeHasAll(t, dir, n)
+	t.Logf("flaky run: %+v, server saw %d duplicates, injected %d/%d/%d faults",
+		stats, st.Duplicates, flaky.dropped, flaky.executed, flaky.busied)
+}
+
+func TestDeadWorkerLeasesAreStolen(t *testing.T) {
+	const n = 12
+	dir := t.TempDir()
+	srv, hs := startServer(t, dir, n, Config{LeaseTTL: 150 * time.Millisecond, BatchSize: 6})
+
+	// Worker A claims half the sweep and dies silently: no heartbeat,
+	// no release — the SIGKILL case.
+	dead := fastClient(hs.URL, "dead-worker")
+	claimed, err := dead.Claim(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claimed.Cells) != 6 {
+		t.Fatalf("dead worker claimed %d cells", len(claimed.Cells))
+	}
+
+	// Worker B sweeps everything; A's cells come back after the TTL.
+	stats, err := RunWorker(context.Background(), WorkerConfig{
+		Client:       fastClient(hs.URL, "live-worker"),
+		RunPass:      passRunner(n, computeCellRec),
+		PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Status()
+	if !st.Complete || st.Done != n {
+		t.Fatalf("status after steal = %+v", st)
+	}
+	if st.Stolen == 0 {
+		t.Fatal("no leases were stolen despite the dead worker")
+	}
+	if stats.Uploaded != n {
+		t.Fatalf("live worker uploaded %d, want %d", stats.Uploaded, n)
+	}
+
+	// The dead worker rises and uploads a cell it still thinks it
+	// holds: an idempotent no-op, reported as a duplicate.
+	k := claimed.Cells[0]
+	raw, err := results.EncodeRecord(k, computeCellRec(k.Cell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dead.Ingest(context.Background(), k, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Duplicate {
+		t.Fatal("revived worker's upload was not flagged as a duplicate")
+	}
+	storeHasAll(t, dir, n)
+}
+
+func TestServerResumesFromStore(t *testing.T) {
+	const n = 10
+	dir := t.TempDir()
+
+	// First life: half the sweep lands, then the coordinator "crashes"
+	// (we simply drop it — the store is the durable state).
+	srv1, hs1 := startServer(t, dir, n, Config{})
+	c := fastClient(hs1.URL, "w")
+	for _, k := range testCells(n)[:5] {
+		raw, err := results.EncodeRecord(k, computeCellRec(k.Cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Ingest(context.Background(), k, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv1.PersistState(); err != nil {
+		t.Fatal(err)
+	}
+	hs1.Close()
+
+	// Second life: the five ingested cells are done up front — no
+	// recomputation — and only the remaining five are handed out.
+	srv2, hs2 := startServer(t, dir, n, Config{})
+	if st := srv2.Status(); st.Done != 5 || st.Pending != 5 {
+		t.Fatalf("resumed status = %+v, want 5 done / 5 pending", st)
+	}
+	stats, err := RunWorker(context.Background(), WorkerConfig{
+		Client:       fastClient(hs2.URL, "w2"),
+		RunPass:      passRunner(n, computeCellRec),
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Claimed != 5 {
+		t.Fatalf("resumed sweep claimed %d cells, want only the missing 5", stats.Claimed)
+	}
+	if st := srv2.Status(); !st.Complete {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Third life: a fully swept store settles at construction.
+	srv3, _ := startServer(t, dir, n, Config{})
+	select {
+	case <-srv3.Done():
+	default:
+		t.Fatal("fully-resumed server's Done channel not closed")
+	}
+}
+
+func TestServerRefusesMixingSweepsInOneStore(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startServer(t, dir, 4, Config{ScaleName: "quick"})
+	if err := srv.PersistState(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same store, different scale: refused.
+	if _, err := NewServer(Config{Store: store, Cells: testCells(4), ScaleName: "full"}); err == nil {
+		t.Fatal("NewServer accepted a different scale over the same store")
+	}
+	// Same store, different work list: refused.
+	if _, err := NewServer(Config{Store: store, Cells: testCells(7), ScaleName: "quick"}); err == nil {
+		t.Fatal("NewServer accepted a different work list over the same store")
+	}
+	// The matching sweep still resumes.
+	if _, err := NewServer(Config{Store: store, Cells: testCells(4), ScaleName: "quick"}); err != nil {
+		t.Fatalf("matching resume refused: %v", err)
+	}
+}
+
+func TestWedgedCellIsSurrenderedAndParked(t *testing.T) {
+	const n, wedged = 8, 3
+	dir := t.TempDir()
+	srv, hs := startServer(t, dir, n, Config{LeaseTTL: 5 * time.Second, MaxRetries: 2, BatchSize: n})
+
+	block := make(chan struct{})
+	defer close(block)
+	compute := func(i int) cellRec {
+		if i == wedged {
+			<-block // no cancellation points, like a wedged simulation
+		}
+		return computeCellRec(i)
+	}
+	stats, err := RunWorker(context.Background(), WorkerConfig{
+		Client:       fastClient(hs.URL, "w"),
+		RunPass:      passRunner(n, compute),
+		CellTimeout:  30 * time.Millisecond,
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("worker must survive a wedged cell, got %v", err)
+	}
+	if stats.Surrendered != 2 {
+		t.Fatalf("surrendered %d times, want 2 (the retry budget)", stats.Surrendered)
+	}
+	st := srv.Status()
+	if !st.SweepDone || st.Complete {
+		t.Fatalf("status = %+v, want settled but incomplete", st)
+	}
+	if st.Done != n-1 || st.Failed != 1 {
+		t.Fatalf("done=%d failed=%d, want %d/1", st.Done, st.Failed, n-1)
+	}
+	if len(st.FailedList) != 1 || st.FailedList[0].Key.Cell != wedged {
+		t.Fatalf("FailedList = %+v, want cell %d", st.FailedList, wedged)
+	}
+	if !strings.Contains(st.FailedList[0].LastError, "timeout") {
+		t.Fatalf("failure reason %q does not mention the timeout", st.FailedList[0].LastError)
+	}
+
+	// A late successful ingest un-poisons the parked cell and the sweep
+	// completes.
+	raw, err := results.EncodeRecord(testCells(n)[wedged], computeCellRec(wedged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastClient(hs.URL, "healer")
+	if _, err := c.Ingest(context.Background(), testCells(n)[wedged], raw); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Status(); !st.Complete || st.Failed != 0 {
+		t.Fatalf("status after healing ingest = %+v", st)
+	}
+}
+
+func TestIngestRejectsForeignAndMalformedRecords(t *testing.T) {
+	const n = 3
+	_, hs := startServer(t, t.TempDir(), n, Config{})
+	c := fastClient(hs.URL, "w")
+
+	// A cell outside the sweep: permanent rejection, no retries eating
+	// the clock (409 is not retryable).
+	foreign := results.Spec{Experiment: "other", Schema: 9, Scale: "x"}.Key(0)
+	raw, err := results.EncodeRecord(foreign, cellRec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Ingest(context.Background(), foreign, raw); err == nil {
+		t.Fatal("foreign ingest accepted")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("permanent rejection was retried")
+	}
+
+	// A malformed envelope for an in-sweep cell: rejected, cell stays
+	// pending.
+	k := testCells(n)[0]
+	if _, err := c.Ingest(context.Background(), k, []byte("{not json")); err == nil {
+		t.Fatal("malformed ingest accepted")
+	}
+}
+
+func TestClientRetriesUntilServerComesBack(t *testing.T) {
+	// The first 4 exchanges fail at the transport; the worker's RPC
+	// succeeds anyway within its attempt budget.
+	var n int
+	var mu sync.Mutex
+	_, hs := startServer(t, t.TempDir(), 2, Config{})
+	c := fastClient(hs.URL, "w")
+	c.HTTP = &http.Client{Transport: roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		mu.Lock()
+		n++
+		attempt := n
+		mu.Unlock()
+		if attempt <= 4 {
+			return nil, fmt.Errorf("injected: coordinator restarting")
+		}
+		return http.DefaultTransport.RoundTrip(req)
+	})}
+	info, err := c.Sweep(context.Background())
+	if err != nil {
+		t.Fatalf("Sweep through outage: %v", err)
+	}
+	if info.TotalCells != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	// A cancelled context stops the retry loop promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hs.Close()
+	if _, err := c.Sweep(ctx); err == nil {
+		t.Fatal("Sweep with cancelled context succeeded")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,57 @@
+// Package coord is the fault-tolerant distributed sweep coordinator:
+// the server behind cmd/ecfd, the retrying HTTP client and lease-loop
+// worker behind ecfbench -join, and the lease table both share.
+//
+// A sweep is a fixed work list of cell keys (enumerated by
+// experiments.EnumerateCells, so it cannot drift from the drivers).
+// The coordinator owns that list and a content-addressed results.Store;
+// workers own nothing durable. The protocol is four idempotent RPCs:
+//
+//	claim      lease a batch of pending cells (TTL-bounded)
+//	heartbeat  extend the worker's leases; learn which were stolen
+//	ingest     upload one finished cell record (idempotent)
+//	release    return cells early (requeue, or report a failure)
+//
+// # Lease contract
+//
+// A lease is a TTL on a cell granted to one worker. Holding a lease is
+// the only polite way to compute a cell, but it is advisory, not a
+// lock: leases exist to stop duplicate work, not to make it unsafe.
+// A worker that stops heartbeating loses its leases when they expire;
+// the cells return to the pending queue and the next claim hands them
+// to someone else (work-stealing from slow, hung, or dead workers).
+// Heartbeats report which cells were lost so a worker can stop
+// computing stolen work mid-pass. A cell released with a failure
+// (e.g. a -cell-timeout surrender) is retried up to the configured
+// retry budget, then parked as failed and reported in status — the
+// sweep ends rather than retrying a poisoned cell forever.
+//
+// # Idempotency contract
+//
+// Every cell record is deterministic: any worker computing a cell
+// produces the same bytes. Ingest exploits that — the first upload of
+// a cell wins, every later upload (a retried RPC whose first attempt
+// landed, a stolen-then-revived worker finishing anyway, a replayed
+// request) is a no-op acknowledged as a duplicate. Records land in the
+// store via the atomic durable write path (temp file, fsync, rename,
+// directory fsync), so a crashed coordinator can never hold a
+// half-ingested record.
+//
+// # Crash safety and resume
+//
+// The store is the ingest state: on startup the coordinator scans it
+// and marks every cell with a well-formed record as done, so a
+// restarted `ecfd serve` resumes the sweep instead of restarting it.
+// Leases are deliberately not durable — after a restart workers'
+// heartbeats report every lease as lost, the workers re-claim, and the
+// sweep continues. A state snapshot (written atomically on shutdown
+// and periodically during the run) records the sweep's identity — the
+// scale and a hash of the work list — so a coordinator restarted with
+// different parameters over the same store refuses to mix sweeps, and
+// operators can inspect progress without the server running.
+//
+// Client RPCs retry transient failures with exponential backoff plus
+// jitter; workers bound each computed cell with a context deadline
+// (results.Session.CellTimeout) so one wedged cell is surrendered
+// loudly instead of holding its lease until theft.
+package coord

@@ -1,0 +1,405 @@
+package coord
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/results"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Store is the coordinator's record store — the sweep's only
+	// durable state. Required.
+	Store *results.Store
+	// Cells is the sweep's work list in stable order (expand
+	// experiments.EnumerateCells). Required, non-empty.
+	Cells []results.Key
+	// ScaleName names the scale profile workers must run at.
+	ScaleName string
+	// LeaseTTL bounds how long a silent worker keeps its cells.
+	// Default 45s.
+	LeaseTTL time.Duration
+	// BatchSize is the suggested cells-per-claim. Default 32.
+	BatchSize int
+	// MaxRetries is the per-cell failure budget before it is parked as
+	// failed. Default 3.
+	MaxRetries int
+	// StatePath is where the sweep snapshot lands (atomic durable
+	// write). Empty selects <store dir>/coord-state.json; "-" disables
+	// persistence (tests).
+	StatePath string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// Now is the clock; nil selects time.Now (tests inject a fake).
+	Now func() time.Time
+}
+
+// Server is the sweep coordinator: lease table, idempotent ingest into
+// the store, state snapshots, and the HTTP handler over all of it.
+type Server struct {
+	cfg   Config
+	now   func() time.Time
+	logf  func(string, ...any)
+	state string // "" when persistence is disabled
+
+	mu         sync.Mutex
+	table      *leaseTable
+	ingested   int
+	duplicates int
+	lastSave   time.Time
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+}
+
+// persistedState is the on-disk sweep snapshot. The store scan is the
+// authoritative ingest state; the snapshot pins the sweep's identity
+// (so a restart with different parameters refuses to mix sweeps) and
+// gives operators progress without the server running.
+type persistedState struct {
+	Scale      string       `json:"scale"`
+	CellsHash  string       `json:"cells_hash"`
+	Total      int          `json:"total"`
+	Done       int          `json:"done"`
+	Failed     []FailedCell `json:"failed_cells,omitempty"`
+	SavedAt    time.Time    `json:"saved_at"`
+	SchemaNote string       `json:"note"`
+}
+
+// hashCells fingerprints the work list: same cells in same order, same
+// sweep.
+func hashCells(cells []results.Key) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, k := range cells {
+		enc.Encode(k)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// NewServer builds a coordinator and resumes any prior sweep in the
+// store: every cell with a well-formed record is marked done up front,
+// so a restart recomputes nothing. A state snapshot from a different
+// sweep (other scale or work list) in the same store is an error.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("coord: Config.Store is required")
+	}
+	if len(cfg.Cells) == 0 {
+		return nil, fmt.Errorf("coord: Config.Cells is empty — nothing to sweep")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 45 * time.Second
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	s := &Server{
+		cfg:    cfg,
+		now:    cfg.Now,
+		logf:   cfg.Logf,
+		doneCh: make(chan struct{}),
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	switch cfg.StatePath {
+	case "":
+		s.state = filepath.Join(cfg.Store.Dir(), "coord-state.json")
+	case "-":
+		s.state = ""
+	default:
+		s.state = cfg.StatePath
+	}
+	if s.state != "" {
+		if err := s.checkPriorState(); err != nil {
+			return nil, err
+		}
+	}
+	s.table = newLeaseTable(cfg.Cells, cfg.LeaseTTL, cfg.MaxRetries)
+	resumed := 0
+	for _, k := range cfg.Cells {
+		if cfg.Store.Has(k) {
+			if added, _ := s.table.markDone(k); added {
+				resumed++
+			}
+		}
+	}
+	if resumed > 0 {
+		s.logf("resume: %d/%d cells already in the store", resumed, len(cfg.Cells))
+	}
+	s.maybeDone()
+	return s, nil
+}
+
+// checkPriorState refuses to resume over a snapshot from a different
+// sweep — mixing scales or work lists in one store would interleave
+// incompatible record sets silently.
+func (s *Server) checkPriorState() error {
+	raw, err := os.ReadFile(s.state)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("coord: reading state %s: %w", s.state, err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("coord: state %s is corrupt: %v (delete it to start fresh)", s.state, err)
+	}
+	if st.Scale != s.cfg.ScaleName || st.CellsHash != hashCells(s.cfg.Cells) {
+		return fmt.Errorf("coord: state %s records a different sweep (scale %q, %d cells); refusing to mix sweeps in one store — use a fresh -cache-dir or delete the state file",
+			s.state, st.Scale, st.Total)
+	}
+	return nil
+}
+
+// PersistState writes the sweep snapshot durably. Safe to call at any
+// time; the graceful-shutdown path calls it after the HTTP server has
+// drained in-flight ingests.
+func (s *Server) PersistState() error {
+	if s.state == "" {
+		return nil
+	}
+	s.mu.Lock()
+	st := persistedState{
+		Scale:      s.cfg.ScaleName,
+		CellsHash:  hashCells(s.cfg.Cells),
+		Total:      len(s.cfg.Cells),
+		Done:       s.table.done,
+		Failed:     s.table.failedCells(),
+		SavedAt:    s.now(),
+		SchemaNote: "advisory snapshot; the record store is the authoritative ingest state",
+	}
+	s.lastSave = s.now()
+	s.mu.Unlock()
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return results.AtomicWriteFile(s.state, append(raw, '\n'))
+}
+
+// maybePersist saves the snapshot at most once per second — called on
+// ingest progress so a hard-killed coordinator still leaves a recent
+// snapshot, without an fsync per record on the state file. Caller
+// holds s.mu; the actual write happens outside it via a goroutine-free
+// fast path: we just record intent and let the caller write after
+// unlock.
+func (s *Server) maybePersist() bool {
+	if s.state == "" {
+		return false
+	}
+	if s.now().Sub(s.lastSave) < time.Second {
+		return false
+	}
+	s.lastSave = s.now()
+	return true
+}
+
+// Done is closed when no work remains (every cell done or parked as
+// failed) — the -exit-when-done trigger.
+func (s *Server) Done() <-chan struct{} { return s.doneCh }
+
+// maybeDone closes Done when the sweep has settled. Caller holds s.mu
+// or is in the constructor.
+func (s *Server) maybeDone() {
+	if settled, _ := s.table.settled(); settled {
+		s.doneOnce.Do(func() { close(s.doneCh) })
+	}
+}
+
+// Status snapshots sweep progress.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done, leased, pending, failed := s.table.counts(s.now())
+	settled, complete := s.table.settled()
+	return Status{
+		Scale:      s.cfg.ScaleName,
+		Total:      len(s.cfg.Cells),
+		Done:       done,
+		Leased:     leased,
+		Pending:    pending,
+		Failed:     failed,
+		FailedList: s.table.failedCells(),
+		Stolen:     s.table.stolen,
+		Ingested:   s.ingested,
+		Duplicates: s.duplicates,
+		SweepDone:  settled,
+		Complete:   complete,
+	}
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/claim", s.handleClaim)
+	mux.HandleFunc("/v1/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	return mux
+}
+
+// writeJSON renders a response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// readJSON decodes a bounded request body.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error()})
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SweepInfo{
+		Scale:      s.cfg.ScaleName,
+		TotalCells: len(s.cfg.Cells),
+		LeaseTTLMs: s.cfg.LeaseTTL.Milliseconds(),
+		BatchSize:  s.cfg.BatchSize,
+	})
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "claim without a worker id"})
+		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = s.cfg.BatchSize
+	}
+	s.mu.Lock()
+	cells := s.table.claim(req.Worker, max, s.now())
+	settled, complete := s.table.settled()
+	s.mu.Unlock()
+	if len(cells) > 0 {
+		s.logf("claim: %d cells -> %s (first %s/%d)", len(cells), req.Worker, cells[0].Experiment, cells[0].Cell)
+	}
+	writeJSON(w, http.StatusOK, ClaimResponse{
+		Cells:      cells,
+		LeaseTTLMs: s.cfg.LeaseTTL.Milliseconds(),
+		SweepDone:  settled,
+		Complete:   complete,
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	lost := s.table.heartbeat(req.Worker, req.Cells, s.now())
+	settled, _ := s.table.settled()
+	s.mu.Unlock()
+	if len(lost) > 0 {
+		s.logf("heartbeat: %s lost %d leases", req.Worker, len(lost))
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Lost: lost, SweepDone: settled})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	i, known := s.table.index[req.Cell]
+	alreadyDone := known && s.table.status[i] == cellDone
+	s.mu.Unlock()
+	if !known {
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf(
+			"cell %d of %q is not part of this sweep (mismatched scale or schema?)", req.Cell.Cell, req.Cell.Experiment)})
+		return
+	}
+	if alreadyDone {
+		s.mu.Lock()
+		s.duplicates++
+		settled, _ := s.table.settled()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, IngestResponse{Duplicate: true, SweepDone: settled})
+		return
+	}
+	// The durable write happens outside the table lock so concurrent
+	// ingests overlap their fsyncs; Store.Ingest is idempotent, and
+	// racing writers produce identical bytes under the determinism
+	// contract, so last-rename-wins is harmless.
+	if _, err := s.cfg.Store.Ingest(req.Cell, req.Record); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	marked, _ := s.table.markDone(req.Cell)
+	if marked {
+		s.ingested++
+	} else {
+		s.duplicates++
+	}
+	persist := s.maybePersist()
+	settled, _ := s.table.settled()
+	s.maybeDone()
+	s.mu.Unlock()
+	if persist {
+		if err := s.PersistState(); err != nil {
+			s.logf("state snapshot failed: %v", err)
+		}
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Duplicate: !marked, SweepDone: settled})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	s.table.release(req.Worker, req.Cells, req.Failed, req.Reason, s.now())
+	settled, _ := s.table.settled()
+	s.maybeDone()
+	s.mu.Unlock()
+	if req.Failed {
+		s.logf("release: %s failed %d cells: %s", req.Worker, len(req.Cells), req.Reason)
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{SweepDone: settled})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}

@@ -1,0 +1,285 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/results"
+)
+
+// claimSet is the worker's live view of its leases: the Claims gate a
+// catalog pass consults per cell, shrunk when heartbeats report theft
+// and as uploads complete. Safe for concurrent use (pool workers and
+// the heartbeat goroutine touch it together).
+type claimSet struct {
+	mu   sync.Mutex
+	live map[results.Key]bool
+}
+
+func newClaimSet(cells []results.Key) *claimSet {
+	s := &claimSet{live: make(map[results.Key]bool, len(cells))}
+	for _, k := range cells {
+		s.live[k] = true
+	}
+	return s
+}
+
+// Covers is the results.Session.Claims gate.
+func (s *claimSet) Covers(k results.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live[k]
+}
+
+// Lose drops stolen leases — their cells stop being claimed (and so
+// stop being computed) immediately.
+func (s *claimSet) Lose(keys []results.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.live, k)
+	}
+}
+
+// MarkDone retires an uploaded cell.
+func (s *claimSet) MarkDone(k results.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.live, k)
+}
+
+// Remaining lists the cells still held — what a finishing pass
+// heartbeats for, and what it releases when it ends.
+func (s *claimSet) Remaining() []results.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]results.Key, 0, len(s.live))
+	for k := range s.live {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		return a.Cell < b.Cell
+	})
+	return out
+}
+
+// uploadSink adapts the client's Ingest RPC to results.Sink: encode
+// the record, upload with retries, retire the claim. It counts uploads
+// and duplicates for the worker's pass report.
+type uploadSink struct {
+	ctx    context.Context
+	client *Client
+	claims *claimSet
+
+	mu         sync.Mutex
+	uploaded   int
+	duplicates int
+	sweepDone  bool
+}
+
+// Put implements results.Sink.
+func (u *uploadSink) Put(k results.Key, v any) error {
+	raw, err := results.EncodeRecord(k, v)
+	if err != nil {
+		return err
+	}
+	resp, err := u.client.Ingest(u.ctx, k, raw)
+	if err != nil {
+		return err
+	}
+	u.claims.MarkDone(k)
+	u.mu.Lock()
+	u.uploaded++
+	if resp.Duplicate {
+		u.duplicates++
+	}
+	if resp.SweepDone {
+		u.sweepDone = true
+	}
+	u.mu.Unlock()
+	return nil
+}
+
+// sawSweepDone reports whether any ingest response announced the sweep
+// settled — often this worker's own final upload. The lease loop exits
+// on it instead of racing one more claim against a coordinator that may
+// be shutting down under -exit-when-done.
+func (u *uploadSink) sawSweepDone() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.sweepDone
+}
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Client talks to the coordinator. Required.
+	Client *Client
+	// RunPass executes one catalog pass under the given session: every
+	// cell the session's Claims gate covers must be computed (or served
+	// from the session's store) and delivered to the session's Sink.
+	// ecfbench wires experiments.RunCatalog here; tests wire a fake
+	// catalog. A returned error aborts the pass (remaining leases are
+	// released); a *results.CellTimeoutError releases the wedged cell
+	// as failed and the worker carries on. Required.
+	RunPass func(ses *results.Session) error
+	// Store optionally caches records locally (a worker's -cache-dir):
+	// cells it already holds are served from it and still uploaded.
+	Store *results.Store
+	// CellTimeout bounds each computed cell (see
+	// results.Session.CellTimeout). Zero: no deadline.
+	CellTimeout time.Duration
+	// BatchSize overrides the server's suggested claim size.
+	BatchSize int
+	// PollInterval is the idle wait when everything pending is leased
+	// elsewhere. Zero: min(LeaseTTL/2, 2s).
+	PollInterval time.Duration
+	// Logf receives pass-level progress; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarizes a worker's run.
+type WorkerStats struct {
+	// Passes counts claim->compute->upload rounds.
+	Passes int
+	// Claimed, Uploaded, Duplicates, Lost, Surrendered count cells.
+	Claimed     int
+	Uploaded    int
+	Duplicates  int
+	Lost        int
+	Surrendered int
+}
+
+// RunWorker drives the lease loop until the coordinator reports the
+// sweep settled (or ctx is cancelled): claim a batch, heartbeat it in
+// the background, compute-and-upload through RunPass, release whatever
+// remains, repeat. Lease theft shrinks the live claim set mid-pass;
+// cell timeouts surrender the wedged cell as a failure and continue.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	var stats WorkerStats
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	info, err := cfg.Client.Sweep(ctx)
+	if err != nil {
+		return stats, err
+	}
+	ttl := time.Duration(info.LeaseTTLMs) * time.Millisecond
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = ttl / 2
+		if poll > 2*time.Second {
+			poll = 2 * time.Second
+		}
+		if poll <= 0 {
+			poll = time.Second
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		resp, err := cfg.Client.Claim(ctx, cfg.BatchSize)
+		if err != nil {
+			return stats, err
+		}
+		if len(resp.Cells) == 0 {
+			if resp.SweepDone {
+				return stats, nil
+			}
+			// Everything pending is leased elsewhere; wait for leases
+			// to resolve (finish or expire) and try again.
+			select {
+			case <-time.After(poll):
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			}
+			continue
+		}
+		stats.Passes++
+		stats.Claimed += len(resp.Cells)
+		claims := newClaimSet(resp.Cells)
+		sink := &uploadSink{ctx: ctx, client: cfg.Client, claims: claims}
+
+		// Heartbeat the live claims at a third of the TTL until the
+		// pass ends. A failed heartbeat is not fatal — the next one may
+		// land, and losing the lease only costs duplicate work.
+		hbCtx, stopHB := context.WithCancel(ctx)
+		var hbWG sync.WaitGroup
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			interval := ttl / 3
+			if interval <= 0 {
+				interval = time.Second
+			}
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-time.After(interval):
+				}
+				held := claims.Remaining()
+				if len(held) == 0 {
+					continue
+				}
+				hb, err := cfg.Client.Heartbeat(hbCtx, held)
+				if err != nil {
+					continue
+				}
+				if len(hb.Lost) > 0 {
+					claims.Lose(hb.Lost)
+					logf("lost %d leases (stolen); dropping them mid-pass", len(hb.Lost))
+				}
+			}
+		}()
+
+		ses := &results.Session{
+			Store:       cfg.Store,
+			Claims:      claims.Covers,
+			Sink:        sink,
+			CellTimeout: cfg.CellTimeout,
+		}
+		passErr := cfg.RunPass(ses)
+		stopHB()
+		hbWG.Wait()
+
+		stats.Uploaded += sink.uploaded
+		stats.Duplicates += sink.duplicates
+
+		var timeout *results.CellTimeoutError
+		if passErr != nil && errors.As(passErr, &timeout) {
+			// Surrender the wedged cell as a failure; the coordinator
+			// retries it elsewhere up to its budget.
+			stats.Surrendered++
+			claims.Lose([]results.Key{timeout.Key})
+			if _, rerr := cfg.Client.Release(ctx, []results.Key{timeout.Key}, true, timeout.Error()); rerr != nil {
+				logf("failed to report surrendered cell: %v", rerr)
+			}
+			passErr = nil
+		}
+		// Return whatever the pass did not finish — aborted by an
+		// error, skipped after theft already removed it, or simply not
+		// reached before a timeout abort.
+		if rest := claims.Remaining(); len(rest) > 0 {
+			stats.Lost += len(rest)
+			if _, rerr := cfg.Client.Release(ctx, rest, false, ""); rerr != nil {
+				logf("failed to release %d unfinished cells (their leases will expire): %v", len(rest), rerr)
+			}
+		}
+		if passErr != nil {
+			return stats, passErr
+		}
+		logf("pass %d: claimed %d, uploaded %d (%d duplicate)", stats.Passes, len(resp.Cells), sink.uploaded, sink.duplicates)
+		if sink.sawSweepDone() {
+			return stats, nil
+		}
+	}
+}

@@ -50,3 +50,31 @@ func EnumerateActive(sc Scale) []results.Group {
 	}
 	return ses.ActiveGroups()
 }
+
+// EnumerateCells returns the full cell work list of a catalog run at
+// the given scale — one (spec, cell count) entry per record family,
+// derived by the same enumerating-session trick as EnumerateActive, so
+// it cannot drift from the drivers. Expanding each family through
+// Spec.Key yields every cell key exactly once; this is the work list a
+// sweep coordinator (cmd/ecfd) hands out as leases.
+func EnumerateCells(sc Scale) []results.CellFamily {
+	ses := &results.Session{Enumerate: true}
+	sc.Results = ses
+	sc.Workers = 1
+	for _, run := range allDrivers {
+		run(sc)
+	}
+	return ses.ActiveCellFamilies()
+}
+
+// RunCatalog runs every driver in the catalog for its side effects on
+// sc.Results, discarding the rendered reports — the join-mode worker
+// pass: under a session whose Claims gate covers the worker's leased
+// cells, exactly those cells are computed and uploaded, everything
+// else is skipped, and the partially-filled result structures are
+// never rendered.
+func RunCatalog(sc Scale) {
+	for _, run := range allDrivers {
+		run(sc)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Spec identifies one family of cells: a sub-experiment whose cell
@@ -142,6 +143,18 @@ type Group struct {
 	Schema     int
 }
 
+// Sink receives computed (or cache-served) cell records in addition to
+// the session's local store — the distributed upload path: a join-mode
+// worker's sink is a coordinator client whose Put serializes the record
+// and ingests it remotely. Put may be called from several worker
+// goroutines at once and must be idempotent: under the determinism
+// contract a cell's record is the same bytes no matter who computes it,
+// so delivering one record twice (a retried upload, a stolen-then-
+// revived lease) must converge on a single stored copy.
+type Sink interface {
+	Put(k Key, v any) error
+}
+
 // Session is the per-invocation cache/shard policy shared by every
 // driver of one run, plus the hit/computed counters the harness
 // reports. The zero value (and nil) computes everything in-process with
@@ -152,8 +165,37 @@ type Session struct {
 	// Shard restricts which cells run (zero value: all of them).
 	Shard Shard
 	// Merge serves every cell from the store and simulates nothing; a
-	// missing record is an error naming the cell.
+	// missing record is an error naming the cell — or, with
+	// CollectMisses, a note in the session's missing-cell list so one
+	// merge pass reports every hole instead of the first.
 	Merge bool
+	// CollectMisses, with Merge, records missing cells (MissingCells)
+	// and leaves their slots at zero values instead of failing the run
+	// on the first hole. The caller must treat any recorded miss as a
+	// failed merge: result structures touched by missing cells are
+	// partial and must not be rendered as complete reports.
+	CollectMisses bool
+	// Claims, when non-nil, restricts computation to the cells it
+	// reports true for — the distributed lease gate: a join-mode worker
+	// computes exactly its leased cells and skips everything else
+	// (including store reads). It is consulted again between compute
+	// and upload, so a lease lost mid-pass stops claiming new cells
+	// immediately. Must be safe for concurrent use.
+	Claims func(Key) bool
+	// Sink, when non-nil, additionally receives every record the
+	// session serves or computes (after Store persistence) — the
+	// join-mode upload path. A Sink error fails the cell.
+	Sink Sink
+	// CellTimeout, when positive, bounds each computed cell's wall
+	// clock. A cell that exceeds it fails with a *CellTimeoutError
+	// naming the experiment and cell index — loudly surrendering the
+	// cell instead of wedging the whole sweep. The overrun computation
+	// itself cannot be preempted (the simulator runs no cancellation
+	// points on its hot path, by design); its goroutine is abandoned
+	// and its result discarded, which a process that is about to exit
+	// or surrender its lease can afford. Zero preserves the default:
+	// no deadline.
+	CellTimeout time.Duration
 	// Enumerate records which record groups the run would touch without
 	// reading or computing anything: every cell is skipped after noting
 	// its spec. Driving the full experiment catalog through an
@@ -167,17 +209,77 @@ type Session struct {
 
 	activeMu sync.Mutex
 	active   map[Group]struct{}
+	cells    map[Spec]int
+
+	missMu  sync.Mutex
+	missing map[Key]struct{}
 }
 
-// noteGroup records one spec's group during an enumerating run.
-func (s *Session) noteGroup(spec Spec) {
+// noteCell records one cell's spec during an enumerating run: its group
+// and the family's cell count (the highest index seen plus one).
+func (s *Session) noteCell(spec Spec, i int) {
 	g := Group{Experiment: spec.Experiment, Scale: spec.Scale, Schema: spec.Schema}
 	s.activeMu.Lock()
 	if s.active == nil {
 		s.active = make(map[Group]struct{})
+		s.cells = make(map[Spec]int)
 	}
 	s.active[g] = struct{}{}
+	if i+1 > s.cells[spec] {
+		s.cells[spec] = i + 1
+	}
 	s.activeMu.Unlock()
+}
+
+// noteMissing records a merge miss under CollectMisses.
+func (s *Session) noteMissing(k Key) {
+	s.missMu.Lock()
+	if s.missing == nil {
+		s.missing = make(map[Key]struct{})
+	}
+	s.missing[k] = struct{}{}
+	s.missMu.Unlock()
+}
+
+// MissingCells returns the cells a CollectMisses merge pass could not
+// serve, sorted by (experiment, scale, schema, cell). Empty means the
+// merge was complete.
+func (s *Session) MissingCells() []Key {
+	if s == nil {
+		return nil
+	}
+	s.missMu.Lock()
+	defer s.missMu.Unlock()
+	out := make([]Key, 0, len(s.missing))
+	for k := range s.missing {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		if a.Schema != b.Schema {
+			return a.Schema < b.Schema
+		}
+		return a.Cell < b.Cell
+	})
+	return out
+}
+
+// MissingCount returns how many merge misses have been collected so
+// far — the cheap "did this experiment leave holes" probe a harness
+// checks around each driver.
+func (s *Session) MissingCount() int {
+	if s == nil {
+		return 0
+	}
+	s.missMu.Lock()
+	defer s.missMu.Unlock()
+	return len(s.missing)
 }
 
 // ActiveGroups returns the record groups noted by an enumerating run,
@@ -201,6 +303,42 @@ func (s *Session) ActiveGroups() []Group {
 	})
 	return out
 }
+
+// CellFamily pairs one spec with its cell count — one entry of the
+// enumerated work list a sweep coordinator hands out as leases.
+type CellFamily struct {
+	Spec  Spec
+	Cells int
+}
+
+// ActiveCellFamilies returns every (spec, cell count) pair noted by an
+// enumerating run, sorted by (experiment, scale, schema). Expanding
+// each family's cells 0..Cells-1 through Spec.Key yields the complete,
+// stable cell work list of a catalog run at the enumerated scale.
+func (s *Session) ActiveCellFamilies() []CellFamily {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	out := make([]CellFamily, 0, len(s.cells))
+	for spec, n := range s.cells {
+		out = append(out, CellFamily{Spec: spec, Cells: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Spec, out[j].Spec
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		return a.Schema < b.Schema
+	})
+	return out
+}
+
+// Key builds the store key for one cell of the spec — the exported
+// form of the internal key derivation, for coordinators enumerating
+// work lists.
+func (s Spec) Key(cell int) Key { return s.key(cell) }
 
 // Stats returns how many cells were served from the store and how many
 // were simulated since the session was created.
@@ -229,6 +367,20 @@ type MissingCellError struct {
 func (e *MissingCellError) Error() string {
 	return fmt.Sprintf("results: cell %d of %q (schema %d, scale %q) is not in the cache; run the shard covering it (and every other cell) before -merge",
 		e.Key.Cell, e.Key.Experiment, e.Key.Schema, e.Key.Scale)
+}
+
+// CellTimeoutError reports a computed cell that exceeded the session's
+// CellTimeout. It names the exact cell so an operator (or a join-mode
+// worker surrendering the cell back to its coordinator) can act on it.
+type CellTimeoutError struct {
+	Key     Key
+	Timeout time.Duration
+}
+
+// Error names the wedged cell and the deadline it blew.
+func (e *CellTimeoutError) Error() string {
+	return fmt.Sprintf("results: cell %d of %q (schema %d, scale %q) exceeded the %v cell timeout; surrendered (rerun without -cell-timeout to let it finish, or investigate the cell)",
+		e.Key.Cell, e.Key.Experiment, e.Key.Schema, e.Key.Scale, e.Timeout)
 }
 
 // FatalError wraps an operational results failure (store I/O, a merge

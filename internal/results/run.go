@@ -2,6 +2,7 @@ package results
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -45,7 +46,7 @@ func Add[T any](b *Batch, spec Spec, n int, compute func(i int) T, collect func(
 // runCell executes one cell under the session policy.
 func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect func(int, T)) error {
 	if s != nil && s.Enumerate {
-		s.noteGroup(spec)
+		s.noteCell(spec, i)
 		return nil
 	}
 	// Flight-recorder gate: the traced cell takes the trace gate's
@@ -66,6 +67,10 @@ func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect f
 	if s.Merge {
 		var v T
 		if s.Store == nil || !s.Store.Get(k, &v) {
+			if s.CollectMisses {
+				s.noteMissing(k)
+				return nil
+			}
 			return &MissingCellError{Key: k}
 		}
 		s.hits.Add(1)
@@ -75,6 +80,11 @@ func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect f
 	if !s.Shard.Covers(i) {
 		return nil
 	}
+	// The lease gate: a join-mode worker computes exactly the cells it
+	// holds leases on and touches nothing else — not even the store.
+	if s.Claims != nil && !s.Claims(k) {
+		return nil
+	}
 	// A traced cell must actually simulate — a cache hit would leave
 	// the recorder empty — so it skips the read path (its fresh record
 	// still overwrites the stored one below, byte-identical).
@@ -82,19 +92,84 @@ func runCell[T any](s *Session, spec Spec, i int, compute func(int) T, collect f
 		var v T
 		if s.Store.Get(k, &v) {
 			s.hits.Add(1)
+			if err := s.upload(k, v); err != nil {
+				return err
+			}
 			collect(i, v)
 			return nil
 		}
 	}
-	v := compute(i)
+	v, err := computeCell(s, k, i, compute)
+	if err != nil {
+		return err
+	}
 	s.computed.Add(1)
 	if s.Store != nil {
 		if err := s.Store.Put(k, v); err != nil {
 			return err
 		}
 	}
+	if err := s.upload(k, v); err != nil {
+		return err
+	}
 	collect(i, v)
 	return nil
+}
+
+// upload forwards a served or computed record to the session's Sink —
+// the distributed ingest path. A lease lost while the cell was being
+// computed skips the upload: the record is correct (determinism makes
+// every writer's bytes identical, and the coordinator's ingest is
+// idempotent anyway) but the cell is no longer this worker's to report,
+// and the stealing worker is already recomputing it.
+func (s *Session) upload(k Key, v any) error {
+	if s.Sink == nil {
+		return nil
+	}
+	if s.Claims != nil && !s.Claims(k) {
+		return nil
+	}
+	return s.Sink.Put(k, v)
+}
+
+// computeCell runs one cell's compute, bounded by the session's
+// CellTimeout when set. The deadline path runs compute on its own
+// goroutine: the simulator has no cancellation points on its hot path
+// (by design — see internal/sim), so an overrun cell cannot be
+// preempted, only abandoned. Its goroutine keeps running and its
+// result is discarded; the caller is expected to exit or surrender the
+// cell, both of which make the leak irrelevant. A compute panic on the
+// deadline path is re-raised on the calling goroutine so the runner's
+// panic contract holds regardless of CellTimeout.
+func computeCell[T any](s *Session, k Key, i int, compute func(int) T) (T, error) {
+	if s.CellTimeout <= 0 {
+		return compute(i), nil
+	}
+	type outcome struct {
+		v   T
+		pan any
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{pan: p}
+			}
+		}()
+		ch <- outcome{v: compute(i)}
+	}()
+	timer := time.NewTimer(s.CellTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		if out.pan != nil {
+			panic(out.pan)
+		}
+		return out.v, nil
+	case <-timer.C:
+		var zero T
+		return zero, &CellTimeoutError{Key: k, Timeout: s.CellTimeout}
+	}
 }
 
 // Run executes every registered cell across the pool and empties the

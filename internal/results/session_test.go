@@ -1,0 +1,242 @@
+package results
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// memSink records every Put for assertions; optionally fails.
+type memSink struct {
+	mu   sync.Mutex
+	got  map[Key]rec
+	fail error
+}
+
+func newMemSink() *memSink { return &memSink{got: make(map[Key]rec)} }
+
+func (m *memSink) Put(k Key, v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	m.got[k] = v.(rec)
+	return nil
+}
+
+func (m *memSink) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.got)
+}
+
+func TestClaimsGateComputesOnlyClaimedCells(t *testing.T) {
+	dir := t.TempDir()
+	const n = 10
+	var computes atomic.Int64
+	claimed := func(k Key) bool { return k.Cell%2 == 0 }
+
+	out := make([]rec, n)
+	s := &Session{Store: openStore(t, dir), Claims: claimed}
+	if err := Run(context.Background(), runner.New(2), s, spec(), n, computeRec(&computes), collectInto(out)); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != n/2 {
+		t.Fatalf("computed %d cells, want %d (the claimed half)", computes.Load(), n/2)
+	}
+	st := openStore(t, dir)
+	for i := 0; i < n; i++ {
+		has := st.Has(spec().Key(i))
+		if want := i%2 == 0; has != want {
+			t.Fatalf("store Has(cell %d) = %v, want %v", i, has, want)
+		}
+		if i%2 == 1 && out[i] != (rec{}) {
+			t.Fatalf("unclaimed cell %d was collected: %+v", i, out[i])
+		}
+	}
+}
+
+func TestSinkReceivesComputedAndServedRecords(t *testing.T) {
+	dir := t.TempDir()
+	const n = 6
+	var computes atomic.Int64
+
+	// Cold: every record is computed and delivered to the sink.
+	cold := newMemSink()
+	s1 := &Session{Store: openStore(t, dir), Sink: cold}
+	if err := Run(context.Background(), runner.New(2), s1, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+	if cold.len() != n {
+		t.Fatalf("cold sink got %d records, want %d", cold.len(), n)
+	}
+
+	// Warm: cache hits are uploaded too — a worker holding leases on
+	// cells it already has locally must still deliver them.
+	warm := newMemSink()
+	s2 := &Session{Store: openStore(t, dir), Sink: warm}
+	if err := Run(context.Background(), runner.New(2), s2, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+	if h, c := s2.Stats(); h != n || c != 0 {
+		t.Fatalf("warm stats = %d hits, %d computed", h, c)
+	}
+	if warm.len() != n {
+		t.Fatalf("warm sink got %d records, want %d (hits upload too)", warm.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		k := spec().Key(i)
+		if cold.got[k] != warm.got[k] {
+			t.Fatalf("cell %d: cold and warm sink records differ", i)
+		}
+	}
+}
+
+func TestSinkErrorFailsTheCell(t *testing.T) {
+	sink := newMemSink()
+	sink.fail = errors.New("coordinator unreachable")
+	var computes atomic.Int64
+	s := &Session{Sink: sink}
+	err := Run(context.Background(), runner.New(1), s, spec(), 3, computeRec(&computes), collectInto(make([]rec, 3)))
+	if err == nil || !errors.Is(err, sink.fail) {
+		t.Fatalf("Run with failing sink = %v, want the sink error", err)
+	}
+}
+
+func TestLostClaimSkipsUpload(t *testing.T) {
+	// The claim is re-checked between compute and upload: a lease lost
+	// mid-cell delivers nothing (the stealing worker owns it now).
+	var lost atomic.Bool
+	sink := newMemSink()
+	var computes atomic.Int64
+	s := &Session{
+		Sink: sink,
+		Claims: func(Key) bool {
+			// Claimed when the cell starts, revoked by upload time.
+			return !lost.Load()
+		},
+	}
+	compute := func(i int) rec {
+		computes.Add(1)
+		lost.Store(true)
+		return rec{Cell: i}
+	}
+	if err := Run(context.Background(), runner.New(1), s, spec(), 1, compute, collectInto(make([]rec, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("computes = %d, want 1", computes.Load())
+	}
+	if sink.len() != 0 {
+		t.Fatalf("sink got %d records after lease loss, want 0", sink.len())
+	}
+}
+
+func TestCollectMissesGathersEveryHole(t *testing.T) {
+	dir := t.TempDir()
+	const n = 9
+	var computes atomic.Int64
+
+	// Seed shard 0/3 only: cells 1,2,4,5,7,8 are holes.
+	s := &Session{Store: openStore(t, dir), Shard: Shard{Index: 0, Count: 3}}
+	if err := Run(context.Background(), runner.New(1), s, spec(), n, computeRec(&computes), collectInto(make([]rec, n))); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &Session{Store: openStore(t, dir), Merge: true, CollectMisses: true}
+	got := make([]rec, n)
+	if err := Run(context.Background(), runner.New(2), m, spec(), n, computeRec(&computes), collectInto(got)); err != nil {
+		t.Fatalf("CollectMisses merge must not fail on holes: %v", err)
+	}
+	miss := m.MissingCells()
+	if m.MissingCount() != 6 || len(miss) != 6 {
+		t.Fatalf("missing = %d cells (%v), want 6", len(miss), miss)
+	}
+	for i, k := range miss {
+		if k.Cell%3 == 0 {
+			t.Fatalf("cell %d reported missing but shard 0/3 covered it", k.Cell)
+		}
+		if i > 0 && miss[i-1].Cell > k.Cell {
+			t.Fatalf("missing cells not sorted: %v", miss)
+		}
+	}
+	// Served cells were still collected; holes stayed at zero values.
+	for i := 0; i < n; i++ {
+		if covered := i%3 == 0; covered != (got[i].Cell == i && got[i].Label == "cell") {
+			t.Fatalf("cell %d: covered=%v but collected %+v", i, covered, got[i])
+		}
+	}
+
+	// Without CollectMisses the same merge fails on the first hole.
+	m2 := &Session{Store: openStore(t, dir), Merge: true}
+	err := Run(context.Background(), runner.New(1), m2, spec(), n, computeRec(&computes), collectInto(make([]rec, n)))
+	var mce *MissingCellError
+	if !errors.As(err, &mce) {
+		t.Fatalf("plain merge over holes = %v, want *MissingCellError", err)
+	}
+}
+
+func TestCellTimeoutNamesTheWedgedCell(t *testing.T) {
+	const n = 4
+	block := make(chan struct{})
+	defer close(block)
+	compute := func(i int) rec {
+		if i == 2 {
+			<-block // wedged: no cancellation points, like the simulator
+		}
+		return rec{Cell: i}
+	}
+	s := &Session{CellTimeout: 20 * time.Millisecond}
+	err := Run(context.Background(), runner.New(1), s, spec(), n, compute, collectInto(make([]rec, n)))
+	var te *CellTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("Run = %v, want *CellTimeoutError", err)
+	}
+	if te.Key != spec().Key(2) {
+		t.Fatalf("timeout names cell %+v, want cell 2", te.Key)
+	}
+	for _, want := range []string{"cell 2", spec().Experiment, "timeout"} {
+		if !strings.Contains(te.Error(), want) {
+			t.Fatalf("timeout message %q does not name %q", te.Error(), want)
+		}
+	}
+}
+
+func TestCellTimeoutZeroMeansNoDeadline(t *testing.T) {
+	var computes atomic.Int64
+	s := &Session{}
+	compute := func(i int) rec {
+		computes.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return rec{Cell: i}
+	}
+	if err := Run(context.Background(), runner.New(1), s, spec(), 2, compute, collectInto(make([]rec, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("computes = %d", computes.Load())
+	}
+}
+
+func TestCellTimeoutPathPreservesPanics(t *testing.T) {
+	s := &Session{CellTimeout: time.Second}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("compute panic was swallowed by the deadline path")
+		}
+		if fmt.Sprint(v) != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	compute := func(i int) rec { panic("boom") }
+	_ = runCell(s, spec(), 0, compute, func(int, rec) {})
+}

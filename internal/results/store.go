@@ -10,10 +10,11 @@ import (
 
 // Store is the on-disk cell cache: one JSON file per record, grouped in
 // a directory per experiment, named by cell index plus the key's
-// content hash. Writes are atomic (temp file + rename) so a concurrent
-// or killed writer can never leave a half-record behind; reads treat
-// any unreadable, undecodable or mismatched file as a miss, so a
-// corrupted cache heals itself by recomputation.
+// content hash. Writes are atomic and durable (temp file, fsync, rename,
+// directory fsync) so neither a concurrent writer, a killed process nor
+// a machine crash can leave a half-record behind under the final name;
+// reads treat any unreadable, undecodable or mismatched file as a miss,
+// so a cache corrupted by other means heals itself by recomputation.
 type Store struct {
 	root string
 	// warned dedupes fingerprint-mismatch warnings per record group.
@@ -103,38 +104,143 @@ func (s *Store) Get(k Key, into any) bool {
 	return json.Unmarshal(env.Data, into) == nil
 }
 
-// Put atomically persists v as the record for k, stamped with the
-// payload type's structural fingerprint.
+// Put atomically and durably persists v as the record for k, stamped
+// with the payload type's structural fingerprint.
 func (s *Store) Put(k Key, v any) error {
+	raw, err := EncodeRecord(k, v)
+	if err != nil {
+		return err
+	}
+	return s.write(k, raw)
+}
+
+// Has reports whether the store holds a well-formed record for k: the
+// file exists, decodes as an envelope, and the stored key matches the
+// request. Unlike Get it needs no target type (and so cannot check the
+// payload fingerprint) — it is the coordinator's type-free notion of
+// "this cell is done", conservative in the same direction as Get: a
+// truncated or foreign file counts as absent.
+func (s *Store) Has(k Key) bool {
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return false
+	}
+	var env envelope
+	return json.Unmarshal(raw, &env) == nil && env.Key == k
+}
+
+// Ingest idempotently persists a serialized record envelope (as built
+// by EncodeRecord, typically on another machine) as the record for k.
+// The envelope must decode and claim the same key, or the ingest is
+// rejected. A record already present for k makes the ingest a no-op —
+// added reports false and nothing is written — so replayed and
+// duplicated uploads (a retried RPC whose first attempt did land, a
+// worker whose lease was stolen finishing anyway) converge on exactly
+// one record. Under the determinism contract every writer computes the
+// same bytes for a cell, so first-write-wins loses nothing.
+func (s *Store) Ingest(k Key, raw []byte) (added bool, err error) {
+	got, err := DecodeRecordKey(raw)
+	if err != nil {
+		return false, fmt.Errorf("cache: ingest for cell %d of %q: %w", k.Cell, k.Experiment, err)
+	}
+	if got != k {
+		return false, fmt.Errorf("cache: ingest for cell %d of %q carries key for cell %d of %q", k.Cell, k.Experiment, got.Cell, got.Experiment)
+	}
+	if s.Has(k) {
+		return false, nil
+	}
+	if err := s.write(k, raw); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// write durably lands raw at k's path.
+func (s *Store) write(k Key, raw []byte) error {
+	path := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := AtomicWriteFile(path, raw); err != nil {
+		return fmt.Errorf("cache: writing cell %d of %q: %w", k.Cell, k.Experiment, err)
+	}
+	return nil
+}
+
+// EncodeRecord serializes v as the store's record envelope for k — the
+// exact bytes Put writes, and the wire format a distributed worker
+// uploads for Store.Ingest on the coordinator.
+func EncodeRecord(k Key, v any) ([]byte, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
+		return nil, fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
 	}
 	raw, err := json.Marshal(envelope{Key: k, Fp: payloadFingerprint(v), Data: data})
 	if err != nil {
-		return fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
+		return nil, fmt.Errorf("cache: encoding cell %d of %q: %w", k.Cell, k.Experiment, err)
 	}
-	path := s.path(k)
+	return raw, nil
+}
+
+// DecodeRecordKey returns the key a serialized record envelope claims
+// to carry, rejecting envelopes whose payload is absent or not valid
+// JSON — the validation gate for ingesting records from the network.
+func DecodeRecordKey(raw []byte) (Key, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Key{}, fmt.Errorf("malformed record envelope: %w", err)
+	}
+	if env.Key.Experiment == "" {
+		return Key{}, fmt.Errorf("record envelope carries no key")
+	}
+	if len(env.Data) == 0 || !json.Valid(env.Data) {
+		return Key{}, fmt.Errorf("record envelope for cell %d of %q carries no valid payload", env.Key.Cell, env.Key.Experiment)
+	}
+	return env.Key, nil
+}
+
+// AtomicWriteFile lands data at path so that after a crash at any
+// instant the path holds either the complete old content or the
+// complete new content, and the new content survives power loss once
+// AtomicWriteFile returns: write to a temp file in the same directory,
+// fsync it, rename over the target, fsync the directory (the rename
+// itself is not durable until its directory is). This is the auklet
+// object-store atomic-writer discipline; the store's record writes and
+// the coordinator's state snapshots both go through it.
+func AtomicWriteFile(path string, data []byte) error {
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("cache: %w", err)
-	}
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
-		return fmt.Errorf("cache: %w", err)
+		return err
 	}
-	_, werr := tmp.Write(raw)
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
-		}
-		return fmt.Errorf("cache: writing cell %d of %q: %w", k.Cell, k.Experiment, werr)
+	if werr == nil {
+		werr = cerr
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: %w", err)
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
 	}
-	return nil
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }

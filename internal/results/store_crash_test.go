@@ -1,0 +1,260 @@
+package results
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// recordFiles lists the record files under dir (excluding temp files and
+// directories), sorted by path.
+func recordFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			return nil
+		}
+		files = append(files, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestCrashMidWriteScenarios simulates the debris each crash window of
+// the atomic write discipline can leave behind, and verifies the store
+// reads clean through every one of them: Get and Has report a miss (or
+// the intact old record) and a rerun heals the store by recomputation.
+func TestCrashMidWriteScenarios(t *testing.T) {
+	k := spec().Key(0)
+	v := rec{Cell: 0, Label: "cell", Value: 0}
+
+	scenarios := []struct {
+		name string
+		// corrupt sabotages the store dir after a successful Put.
+		corrupt func(t *testing.T, st *Store, path string)
+		// wantHit: the record should still be served after sabotage.
+		wantHit bool
+	}{
+		{
+			// Crash after rename of a partial temp file (or a torn
+			// write): the final name holds truncated JSON.
+			name: "truncated record under final name",
+			corrupt: func(t *testing.T, _ *Store, path string) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// Crash between CreateTemp and rename: an orphaned temp
+			// file sits next to an intact record. The record must still
+			// be served; the orphan must not be mistaken for a record.
+			name: "orphaned temp file next to intact record",
+			corrupt: func(t *testing.T, _ *Store, path string) {
+				orphan := filepath.Join(filepath.Dir(path), ".tmp-orphan1")
+				if err := os.WriteFile(orphan, []byte(`{"key":`), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantHit: true,
+		},
+		{
+			// A record file holding a well-formed envelope for a
+			// different cell (e.g. debris from a botched manual copy):
+			// the key check must reject it.
+			name: "record carries another cell's envelope",
+			corrupt: func(t *testing.T, _ *Store, path string) {
+				other, err := EncodeRecord(spec().Key(7), rec{Cell: 7, Label: "cell", Value: 8.75})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, other, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// Crash at the instant of file creation: zero bytes under
+			// the final name.
+			name: "empty record file",
+			corrupt: func(t *testing.T, _ *Store, path string) {
+				if err := os.WriteFile(path, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st := openStore(t, dir)
+			if err := st.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			files := recordFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("record files after Put = %d, want 1", len(files))
+			}
+			sc.corrupt(t, st, files[0])
+
+			var got rec
+			if hit := st.Get(k, &got); hit != sc.wantHit {
+				t.Fatalf("Get after %s = %v, want %v", sc.name, hit, sc.wantHit)
+			}
+			if has := st.Has(k); has != sc.wantHit {
+				t.Fatalf("Has after %s = %v, want %v", sc.name, has, sc.wantHit)
+			}
+
+			// A session run over the sabotaged store recomputes exactly
+			// the damaged cell and heals it.
+			var computes atomic.Int64
+			s := &Session{Store: openStore(t, dir)}
+			out := make([]rec, 1)
+			if err := Run(context.Background(), runner.New(1), s, spec(), 1, computeRec(&computes), collectInto(out)); err != nil {
+				t.Fatal(err)
+			}
+			wantComputes := int64(1)
+			if sc.wantHit {
+				wantComputes = 0
+			}
+			if computes.Load() != wantComputes {
+				t.Fatalf("recompute count = %d, want %d", computes.Load(), wantComputes)
+			}
+			if out[0] != v {
+				t.Fatalf("healed record = %+v, want %+v", out[0], v)
+			}
+			if !st.Has(k) {
+				t.Fatal("store not healed: Has still false after rerun")
+			}
+		})
+	}
+}
+
+func TestAtomicWriteFileReplacesAndLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := AtomicWriteFile(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("version-two")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != "version-two" {
+		t.Fatalf("content = %q, %v; want \"version-two\"", raw, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries after two writes, want 1 (no temp debris)", len(entries))
+	}
+}
+
+func TestIngestIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	k := spec().Key(3)
+	raw, err := EncodeRecord(k, rec{Cell: 3, Label: "cell", Value: 3.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	added, err := st.Ingest(k, raw)
+	if err != nil || !added {
+		t.Fatalf("first Ingest = %v, %v; want added", added, err)
+	}
+	// A replayed upload (retried RPC, stolen-then-revived worker) is a
+	// no-op: not added, nothing rewritten.
+	before := recordFiles(t, dir)
+	added, err = st.Ingest(k, raw)
+	if err != nil || added {
+		t.Fatalf("duplicate Ingest = %v, %v; want no-op", added, err)
+	}
+	after := recordFiles(t, dir)
+	if len(before) != 1 || len(after) != 1 {
+		t.Fatalf("record files = %d then %d, want exactly 1", len(before), len(after))
+	}
+	var got rec
+	if !st.Get(k, &got) || got.Cell != 3 {
+		t.Fatalf("Get after duplicate ingest = %+v", got)
+	}
+}
+
+func TestIngestRejectsBadEnvelopes(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	k := spec().Key(0)
+	good, err := EncodeRecord(k, rec{Cell: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"garbage bytes":    []byte("{not json"),
+		"empty body":       nil,
+		"no key":           []byte(`{"data":{"x":1}}`),
+		"no payload":       []byte(`{"key":{"experiment":"unit/alpha","cell":0,"schema":1,"scale":"s1"}}`),
+		"mismatched cell":  mustEncode(t, spec().Key(9), rec{Cell: 9}),
+		"mismatched exper": mustEncode(t, Key{Experiment: "other", Cell: 0, Schema: 1, Scale: "s1"}, rec{}),
+	}
+	for name, raw := range cases {
+		if added, err := st.Ingest(k, raw); err == nil {
+			t.Fatalf("%s: Ingest succeeded (added=%v), want rejection", name, added)
+		}
+	}
+	if st.Has(k) {
+		t.Fatal("rejected ingests left a record behind")
+	}
+	if added, err := st.Ingest(k, good); err != nil || !added {
+		t.Fatalf("valid ingest after rejections = %v, %v", added, err)
+	}
+}
+
+func mustEncode(t *testing.T, k Key, v any) []byte {
+	t.Helper()
+	raw, err := EncodeRecord(k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestEncodeRecordRoundTripsThroughDecodeKey(t *testing.T) {
+	k := spec().Key(5)
+	raw := mustEncode(t, k, rec{Cell: 5, Label: "cell", Value: 6.25})
+	got, err := DecodeRecordKey(raw)
+	if err != nil || got != k {
+		t.Fatalf("DecodeRecordKey = %+v, %v; want %+v", got, err, k)
+	}
+	// The envelope is exactly what Put writes: ingesting it then reading
+	// through Get yields the original value.
+	st := openStore(t, t.TempDir())
+	if _, err := st.Ingest(k, raw); err != nil {
+		t.Fatal(err)
+	}
+	var v rec
+	if !st.Get(k, &v) || v.Value != 6.25 {
+		t.Fatalf("Get after ingest = %+v", v)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("envelope is not valid JSON")
+	}
+}
