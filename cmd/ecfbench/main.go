@@ -6,6 +6,7 @@
 //	ecfbench -exp fig9
 //	ecfbench -exp table3 -scale quick
 //	ecfbench -exp all -j 8
+//	ecfbench -exp all -lanes 4                    # lane-batch grid cells; stdout unchanged
 //	ecfbench -exp all -cache-dir cache            # cache cells; rerun is instant
 //	ecfbench -exp all -cache-dir cache -shard 0/2 # simulate half the cells
 //	ecfbench -exp all -cache-dir cache -merge     # assemble purely from cache
@@ -572,6 +573,7 @@ func main() {
 		reportOut = flag.String("report-json", "", "write a machine-readable run report (per-experiment wall clock, cache/event counters, output hashes, heap stats) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and a /debug/obs counter snapshot on this address (e.g. localhost:6060) for the life of the run")
 		progress  = flag.Bool("progress", false, "report cells completed/total with rate and ETA on stderr while sweeps run")
+		lanes     = flag.Int("lanes", 1, "run up to K similar cells in lane lockstep per worker (grid-family experiments; others run scalar; 1 = classic scalar execution)")
 		joinAddr  = flag.String("join", "", "join the ecfd coordinator at this host:port as a lease-loop worker (the coordinator dictates the scale)")
 		workerID  = flag.String("worker-id", "", "worker identity for -join leases and logs (default hostname-pid)")
 		cellTO    = flag.Duration("cell-timeout", 0, "per-cell wall-clock budget; a cell exceeding it fails loudly naming the experiment and cell index (0 = no deadline)")
@@ -580,6 +582,12 @@ func main() {
 
 	if *cellTO < 0 {
 		failUsage("-cell-timeout must be a positive duration")
+	}
+	if *lanes < 1 {
+		failUsage("-lanes must be at least 1 (1 = scalar execution)")
+	}
+	if *lanes > sim.MaxLanes {
+		failUsage("-lanes %d exceeds the maximum of %d (wider batches thrash the cache instead of helping)", *lanes, sim.MaxLanes)
 	}
 	if *joinAddr != "" {
 		// Join mode is a worker loop: the coordinator owns the sweep
@@ -591,6 +599,7 @@ func main() {
 			"no-cache": "join mode decides store use itself", "cache-stats": "runs alone", "cache-prune": "runs alone",
 			"trace-cell": "trace on a local run instead", "trace-out": "trace on a local run instead",
 			"decisions-out": "trace on a local run instead", "report-json": "reports cover local runs",
+			"lanes": "lease batches are scalar (per-cell claims don't group into lanes)",
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if why, bad := conflicts[f.Name]; bad {
@@ -618,6 +627,12 @@ func main() {
 		}
 		if *traceOut == "" {
 			failUsage("-trace-cell requires -trace-out (the trace has to go somewhere)")
+		}
+		if *lanes > 1 {
+			// The flight recorder is single-cell: the traced cell's lane
+			// group would have to drop to scalar execution anyway, so the
+			// combination is refused rather than silently de-laned.
+			failUsage("-trace-cell cannot be combined with -lanes %d (tracing runs the cell scalar; rerun with -lanes 1)", *lanes)
 		}
 		var err error
 		traceExp, traceIdx, err = parseTraceCell(*traceCell)
@@ -681,6 +696,22 @@ func main() {
 		failUsage("unknown scale %q (full|quick)", *scale)
 	}
 	sc.Workers = *jobs
+	sc.Lanes = *lanes
+	if *lanes > 1 {
+		// Families without lane support run scalar; say so once per
+		// family on stderr instead of silently ignoring the flag.
+		var fbMu sync.Mutex
+		fbSeen := make(map[string]bool)
+		sc.LaneFallbackLog = func(family string) {
+			fbMu.Lock()
+			defer fbMu.Unlock()
+			if fbSeen[family] {
+				return
+			}
+			fbSeen[family] = true
+			fmt.Fprintf(os.Stderr, "ecfbench: -lanes %d: %s has no lane support, running scalar\n", *lanes, family)
+		}
+	}
 	sc.Results = newSession(*cacheDir, *shardStr, *merge, *noCache, *cellTO)
 	if *progress {
 		pp := &progressPrinter{}
@@ -697,6 +728,12 @@ func main() {
 	var report *obs.RunReport
 	var runHash hash.Hash
 	if *reportOut != "" {
+		if sc.Results == nil {
+			// The report's per-cell duration stats ride on the session;
+			// a cache-less run gets a store-less one (every cell still
+			// computes, nothing is persisted).
+			sc.Results = &results.Session{}
+		}
 		workers := sc.Workers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
@@ -740,7 +777,7 @@ func main() {
 		if report != nil {
 			runHash.Write([]byte(block))
 			sum := sha256.Sum256([]byte(block))
-			report.Experiments = append(report.Experiments, obs.ExperimentReport{
+			er := obs.ExperimentReport{
 				Name:             e.name,
 				Description:      e.desc,
 				WallClockMs:      float64(elapsed.Nanoseconds()) / 1e6,
@@ -753,7 +790,9 @@ func main() {
 				Sharded:          sharded,
 				OutputBytes:      len(block),
 				OutputSHA256:     hex.EncodeToString(sum[:]),
-			})
+			}
+			er.SetCellDurations(sc.Results.TakeCellDurations())
+			report.Experiments = append(report.Experiments, er)
 		}
 		status := fmt.Sprintf("%s: %v", e.name, elapsed.Round(time.Millisecond))
 		if sc.Results != nil {

@@ -59,6 +59,19 @@ type Scale struct {
 	// worker goroutines at once. Like Workers and Results it never
 	// affects cell content and is excluded from cache keys.
 	Progress func(done, total int)
+	// Lanes is the lane-batched execution width (the ecfbench -lanes
+	// flag): each worker drives up to Lanes cache-miss cells of one
+	// family in lockstep through a sim.LaneEngine. 0 or 1 selects the
+	// scalar path. Only the grid-family drivers opt in; other families
+	// fall back to scalar (reported once per family through
+	// LaneFallbackLog). Like Workers, lanes never affect cell content —
+	// the lane contract preserves per-cell dispatch order exactly — so
+	// it is excluded from cache keys.
+	Lanes int
+	// LaneFallbackLog, when non-nil, is told once per cell family that
+	// stayed scalar although Lanes > 1 requested lane batching
+	// (unsupported family, armed cell trace, or per-cell timeout).
+	LaneFallbackLog func(family string)
 }
 
 // Scale-key helpers: each cell family's cache key encodes only the
@@ -83,6 +96,18 @@ func (sc Scale) wildWebKey() string { return fmt.Sprintf("ww%d", sc.WildWebRuns)
 // cell semantics change — and scaleKey is the relevant scale-key
 // helper's output.
 func (sc Scale) spec(experiment string, schema int, scaleKey string) results.Spec {
+	// Every scalar-only family builds its spec here, so this is the
+	// chokepoint for reporting that lane batching was requested but the
+	// family doesn't support it. (The log callback dedupes: shared
+	// families are registered by several figures.)
+	if sc.Lanes > 1 && sc.LaneFallbackLog != nil {
+		sc.LaneFallbackLog(experiment)
+	}
+	return results.Spec{Experiment: experiment, Schema: schema, Scale: scaleKey}
+}
+
+// lanedSpec is spec for the families that do support lane batching.
+func (sc Scale) lanedSpec(experiment string, schema int, scaleKey string) results.Spec {
 	return results.Spec{Experiment: experiment, Schema: schema, Scale: scaleKey}
 }
 
@@ -213,14 +238,39 @@ func fastPathIndex(wifiMbps, lteMbps float64) int {
 	return 0
 }
 
+// streamRun is one streaming cell held open between setup and
+// collection — the lane-batched execution unit. startStreaming builds
+// the network and schedules the player's first events; the caller then
+// drives the engine to Horizon (scalar RunUntil, or interleaved with
+// other lanes through sim.LaneEngine) and calls finish to gather the
+// outcome and close the network. RunStreaming is the scalar
+// composition of the three steps; the lane path is byte-identical to
+// it because the split moves no work across the run boundary.
+type streamRun struct {
+	specs   []core.PathSpec
+	net     *core.Network
+	conn    *mptcp.Conn
+	out     *StreamOutcome
+	done    bool
+	Horizon time.Duration
+}
+
 // RunStreaming executes one streaming session and gathers the outcome.
 func RunStreaming(cfg StreamConfig) *StreamOutcome {
+	r := startStreaming(cfg)
+	r.net.Run(r.Horizon)
+	return r.finish()
+}
+
+// startStreaming builds one streaming cell on a pooled network and
+// schedules its initial events, stopping just short of running the
+// engine.
+func startStreaming(cfg StreamConfig) *streamRun {
 	specs := cfg.Paths
 	if specs == nil {
 		specs = core.DefaultPaths(cfg.WifiMbps, cfg.LteMbps)
 	}
 	net := core.NewNetwork(specs)
-	defer net.Close()
 	eng := net.Engine()
 
 	connCfg := mptcp.DefaultConfig(0)
@@ -248,18 +298,18 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 		ABR:          cfg.ABR,
 	})
 
-	out := &StreamOutcome{}
-	done := false
-	player.Start(func(r *dash.Result) {
-		done = true
-		out.Finished = true
+	r := &streamRun{specs: specs, net: net, conn: conn, out: &StreamOutcome{}}
+	player.Start(func(*dash.Result) {
+		r.done = true
+		r.out.Finished = true
 	})
-	out.Result = player.Result()
+	r.out.Result = player.Result()
 
 	// Optional periodic sampling of CWND and subflow send-buffer
 	// occupancy.
 	if cfg.SampleInterval > 0 {
 		subflows := conn.Subflows()
+		out := r.out
 		out.CwndTraces = make([]*metrics.TimeSeries, len(subflows))
 		out.SndbufTraces = make([]*metrics.TimeSeries, len(subflows))
 		out.SubflowNames = make([]string, len(subflows))
@@ -268,14 +318,19 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 			out.SndbufTraces[i] = &metrics.TimeSeries{}
 			out.SubflowNames[i] = sf.Name()
 		}
-		s := &cwndSampler{eng: eng, subflows: subflows, out: out, done: &done, interval: cfg.SampleInterval}
+		s := &cwndSampler{eng: eng, subflows: subflows, out: out, done: &r.done, interval: cfg.SampleInterval}
 		eng.ScheduleEvent(0, kindCwndSample, s)
 	}
 
-	horizon := time.Duration((videoSec*12 + 300) * float64(time.Second))
-	net.Run(horizon)
+	r.Horizon = time.Duration((videoSec*12 + 300) * float64(time.Second))
+	return r
+}
 
-	// Collect.
+// finish collects the cell's telemetry and closes its network. The
+// engine must have been driven to the run's Horizon first.
+func (r *streamRun) finish() *StreamOutcome {
+	specs, conn, out := r.specs, r.conn, r.out
+	defer r.net.Close()
 	nPaths := len(specs)
 	fastPath := fastPathIndex(specs[0].RateMbps, specs[1].RateMbps)
 	var fastBytes, totalBytes int64
@@ -301,7 +356,7 @@ func RunStreaming(cfg StreamConfig) *StreamOutcome {
 		}
 	}
 	// Copy the reordering samples out of the pooled receiver: once the
-	// deferred Close runs, the receiver (and its series) belongs to the
+	// Close above runs, the receiver (and its series) belongs to the
 	// pool and may be reset by another cell.
 	out.OOODelays = metrics.CopyDurations(conn.Receiver().OOODelays())
 	return out
@@ -338,6 +393,14 @@ func runBatch(b *results.Batch) {
 func runCells[T any](sc Scale, spec results.Spec, n int, compute func(i int) T, collect func(i int, v T)) {
 	b := newBatch(sc)
 	results.Add(b, spec, n, compute, collect)
+	runBatch(b)
+}
+
+// runCellsLanes is runCells for a lane-capable family: cache misses run
+// through opt.Run in groups of sc.Lanes when lane batching is on.
+func runCellsLanes[T any](sc Scale, spec results.Spec, n int, opt results.LaneOpts[T], compute func(i int) T, collect func(i int, v T)) {
+	b := newBatch(sc)
+	results.AddLanes(b, spec, n, opt, compute, collect)
 	runBatch(b)
 }
 

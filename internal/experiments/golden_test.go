@@ -24,13 +24,16 @@ func TestFigure9QuickByteIdentical(t *testing.T) {
 		t.Skip("runs the whole fig9 quick sweep")
 	}
 	for _, workers := range []int{1, 8} {
-		sc := Quick
-		sc.Workers = workers
-		out := Figure9(sc).String()
-		sum := sha256.Sum256([]byte(out))
-		if got := hex.EncodeToString(sum[:]); got != fig9QuickSHA256 {
-			t.Errorf("Workers=%d: fig9 quick hash = %s, want %s (output no longer byte-identical to the pre-refactor core)",
-				workers, got, fig9QuickSHA256)
+		for _, lanes := range []int{1, 4} {
+			sc := Quick
+			sc.Workers = workers
+			sc.Lanes = lanes
+			out := Figure9(sc).String()
+			sum := sha256.Sum256([]byte(out))
+			if got := hex.EncodeToString(sum[:]); got != fig9QuickSHA256 {
+				t.Errorf("Workers=%d Lanes=%d: fig9 quick hash = %s, want %s (output no longer byte-identical to the pre-refactor core)",
+					workers, lanes, got, fig9QuickSHA256)
+			}
 		}
 	}
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"repro/internal/results"
+	"repro/internal/sim"
+)
+
+// Lane-batched cell execution (the ecfbench -lanes flag).
+//
+// A lane group is one worker running K streaming cells of the same
+// family in lockstep: each cell keeps its own pooled network and
+// engine, and a sim.LaneEngine interleaves their events in the merged
+// (at, lane, ticket) order. Per-lane dispatch order — and therefore
+// every cell's record and every byte of stdout — is exactly the scalar
+// path's; only the worker's instruction stream changes, from one
+// serially-dependent event chain to K independent ones the core can
+// overlap. Finished lanes retire independently: their cell is
+// collected and its network closed (back to the worker's pool) while
+// the other lanes keep running, and the freed lane is refilled from
+// the group's remaining cells until the group drains.
+//
+// Only drivers that opt in run laned (the grid family and fig15 — the
+// 6×6 sweeps the paper's evaluation is dominated by); every other
+// family, and any group that must honor a per-cell wall-clock budget
+// or an armed cell trace, falls back to the scalar path automatically.
+
+// runStreamingLanes executes the given streaming cells K at a time in
+// lane lockstep: cfg derives cell i's configuration, emit receives
+// each finished cell's outcome (from the group's single goroutine, in
+// completion order — callers collect into cell-indexed storage, so
+// order carries no meaning). Cells must be mutually independent, per
+// the runner determinism contract.
+func runStreamingLanes(k int, cells []int, cfg func(i int) StreamConfig, emit func(i int, out *StreamOutcome)) {
+	if k > len(cells) {
+		k = len(cells)
+	}
+	le := sim.NewLaneEngine(k)
+	runs := make([]*streamRun, k)
+	cellOf := make([]int, k)
+	next := 0
+	fill := func(lane int) {
+		r := startStreaming(cfg(cells[next]))
+		runs[lane] = r
+		cellOf[lane] = cells[next]
+		le.SetLane(lane, r.net.Engine(), r.Horizon)
+		next++
+	}
+	for lane := 0; lane < k; lane++ {
+		fill(lane)
+	}
+	for {
+		lane := le.RunLaneDone()
+		if lane < 0 {
+			return
+		}
+		out := runs[lane].finish()
+		runs[lane] = nil
+		emit(cellOf[lane], out)
+		if next < len(cells) {
+			fill(lane)
+		}
+	}
+}
+
+// streamingLaneRunner adapts runStreamingLanes to the results.AddLanes
+// contract for a family whose record type T is derived from a
+// streaming outcome.
+func streamingLaneRunner[T any](k int, cfg func(i int) StreamConfig, from func(i int, out *StreamOutcome) T) results.LaneRunner[T] {
+	return func(cells []int, emit func(i int, v T)) {
+		runStreamingLanes(k, cells, cfg, func(i int, out *StreamOutcome) {
+			emit(i, from(i, out))
+		})
+	}
+}

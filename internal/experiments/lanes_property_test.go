@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/results"
+)
+
+// renderMixedSweep runs a deliberately mixed catalog slice — two
+// lane-capable grid-family sweeps (fig9, fig15) and two scalar-only
+// families (fig16's randomized loss cells, fig13's streaming trace) —
+// and concatenates their rendered reports. Any lane-batching defect
+// that leaks across cells, reorders RNG consumption, or drops a
+// scalar-fallback family shows up as a byte difference.
+func renderMixedSweep(sc Scale) string {
+	var b strings.Builder
+	b.WriteString(Figure9(sc).String())
+	b.WriteString(Figure15(sc).String())
+	b.WriteString(Figure16(sc).String())
+	b.WriteString(Figure13(sc).String())
+	return b.String()
+}
+
+// TestLaneSweepByteIdentity is the lane determinism property test: the
+// mixed sweep's rendered bytes are identical across lanes {1,2,4} ×
+// workers {1,8}, and the scalar-fallback log names only the families
+// without lane support.
+func TestLaneSweepByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four quick-scale sweeps per configuration")
+	}
+	var want string
+	for _, workers := range []int{1, 8} {
+		for _, lanes := range []int{1, 2, 4} {
+			var mu sync.Mutex
+			fallback := map[string]bool{}
+			sc := Quick
+			sc.Workers = workers
+			sc.Lanes = lanes
+			sc.LaneFallbackLog = func(family string) {
+				mu.Lock()
+				fallback[family] = true
+				mu.Unlock()
+			}
+			got := renderMixedSweep(sc)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Errorf("workers=%d lanes=%d: rendered sweep differs from baseline (%d vs %d bytes)",
+					workers, lanes, len(got), len(want))
+			}
+			if lanes > 1 {
+				if len(fallback) == 0 {
+					t.Errorf("workers=%d lanes=%d: scalar families logged no lane fallback", workers, lanes)
+				}
+				for family := range fallback {
+					if strings.HasPrefix(family, "grid/") || family == "fig15" {
+						t.Errorf("workers=%d lanes=%d: lane-capable family %q logged a scalar fallback", workers, lanes, family)
+					}
+				}
+			} else if len(fallback) != 0 {
+				t.Errorf("workers=%d lanes=%d: scalar run logged lane fallbacks %v", workers, lanes, fallback)
+			}
+		}
+	}
+}
+
+// hashStoreDir fingerprints every record file under a store directory
+// by relative path.
+func hashStoreDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	sums := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		sums[rel] = hex.EncodeToString(sum[:])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sums
+}
+
+// TestLaneCacheRecordsByteIdentical runs the mixed sweep cold into two
+// stores — scalar and lanes=4 — and compares every persisted record
+// byte for byte: lane batching must not change what lands in the
+// cache. A warm lanes=4 pass over the scalar store must then serve
+// every cell as a hit and render the same bytes.
+func TestLaneCacheRecordsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three quick-scale mixed sweeps with stores")
+	}
+	dirs := map[int]string{1: t.TempDir(), 4: t.TempDir()}
+	outs := map[int]string{}
+	for _, lanes := range []int{1, 4} {
+		store, err := results.Open(dirs[lanes])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := Quick
+		sc.Workers = 8
+		sc.Lanes = lanes
+		sc.Results = &results.Session{Store: store}
+		outs[lanes] = renderMixedSweep(sc)
+		if h, c := sc.Results.Stats(); h != 0 || c == 0 {
+			t.Fatalf("lanes=%d cold: %d hits, %d computed", lanes, h, c)
+		}
+	}
+	if outs[1] != outs[4] {
+		t.Error("cold rendered sweeps differ between lanes=1 and lanes=4")
+	}
+	scalar, laned := hashStoreDir(t, dirs[1]), hashStoreDir(t, dirs[4])
+	if len(scalar) == 0 {
+		t.Fatal("scalar store is empty")
+	}
+	if len(scalar) != len(laned) {
+		t.Fatalf("store record counts differ: %d scalar, %d lanes=4", len(scalar), len(laned))
+	}
+	for rel, sum := range scalar {
+		if laned[rel] != sum {
+			t.Errorf("record %s differs between scalar and lanes=4 stores", rel)
+		}
+	}
+
+	// Warm pass: lanes=4 over the scalar store.
+	store, err := results.Open(dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Quick
+	sc.Workers = 8
+	sc.Lanes = 4
+	sc.Results = &results.Session{Store: store}
+	if got := renderMixedSweep(sc); got != outs[1] {
+		t.Error("warm lanes=4 render differs from cold scalar render")
+	}
+	if h, c := sc.Results.Stats(); c != 0 || h == 0 {
+		t.Errorf("warm lanes=4: %d hits, %d computed (want all hits)", h, c)
+	}
+}
+
+// TestLaneCellTimeoutFallsBackScalar pins the deadline interaction: a
+// session with a per-cell wall-clock budget forces scalar execution
+// (one goroutine per cell is what the timeout measures), and the
+// output still matches the lane-free render.
+func TestLaneCellTimeoutFallsBackScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two fig9 quick sweeps")
+	}
+	sc := Quick
+	sc.Workers = 8
+	want := Figure9(sc).String()
+	sc.Lanes = 4
+	sc.Results = &results.Session{CellTimeout: time.Minute}
+	if got := Figure9(sc).String(); got != want {
+		t.Error("fig9 under -lanes 4 with a cell timeout differs from the scalar render")
+	}
+	if _, c := sc.Results.Stats(); c == 0 {
+		t.Error("timeout run computed no cells")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// laneBenchCells is one 6-cell grid row per scheduler pair — a
+// realistic slice of the fig9 workload where neighbouring cells differ
+// only in LTE bandwidth.
+func laneBenchConfigs() []StreamConfig {
+	bws := trace.GridBandwidthsMbps
+	cfgs := make([]StreamConfig, 0, 2*len(bws))
+	for _, sched := range []string{"ecf", "minrtt"} {
+		for _, lte := range bws {
+			cfgs = append(cfgs, StreamConfig{
+				WifiMbps:  1.1,
+				LteMbps:   lte,
+				Scheduler: sched,
+				VideoSec:  30,
+			})
+		}
+	}
+	return cfgs
+}
+
+func outcomeSnapshot(out *StreamOutcome) map[string]any {
+	defer out.Release()
+	return map[string]any{
+		"bitrate":    out.Result.AvgBitrateMbps(),
+		"throughput": out.Result.AvgThroughputMbps(),
+		"rebuffers":  out.Result.Rebuffers,
+		"stalltime":  out.Result.StallTime,
+		"chunks":     len(out.Result.Chunks),
+		"fast":       out.FastFraction,
+		"ideal":      out.IdealFraction,
+		"iwresets":   out.IWResets,
+		"finished":   out.Finished,
+		"ooo":        len(out.OOODelays),
+	}
+}
+
+// TestLaneStreamingMatchesScalar locks the lane contract at the
+// outcome level: every cell run through the lane loop yields exactly
+// the record the scalar path yields, at every K and regardless of how
+// the group divides.
+func TestLaneStreamingMatchesScalar(t *testing.T) {
+	cfgs := laneBenchConfigs()
+	want := make([]map[string]any, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = outcomeSnapshot(RunStreaming(cfg))
+	}
+	cells := make([]int, len(cfgs))
+	for i := range cells {
+		cells[i] = i
+	}
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		got := make([]map[string]any, len(cfgs))
+		runStreamingLanes(k, cells, func(i int) StreamConfig { return cfgs[i] },
+			func(i int, out *StreamOutcome) { got[i] = outcomeSnapshot(out) })
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("K=%d cell %d: lane outcome %v, scalar %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// BenchmarkLaneBatchGrid measures the lane win on the grid family:
+// ns/cell for the same 12-cell workload executed scalar vs in K=4 lane
+// lockstep. The acceptance gate is lanes4 ≥ 1.3x faster than scalar.
+func BenchmarkLaneBatchGrid(b *testing.B) {
+	cfgs := laneBenchConfigs()
+	cells := make([]int, len(cfgs))
+	for i := range cells {
+		cells[i] = i
+	}
+	cfg := func(i int) StreamConfig { return cfgs[i] }
+	b.Run("scalar", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			for i := range cfgs {
+				RunStreaming(cfgs[i]).Release()
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(cfgs)), "ns/cell")
+	})
+	b.Run("lanes4", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			runStreamingLanes(4, cells, cfg, func(_ int, out *StreamOutcome) { out.Release() })
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(cfgs)), "ns/cell")
+	})
+}
+
+// benchLanesK is a development-time probe of the K knee.
+func BenchmarkLaneBatchGridK(b *testing.B) {
+	cfgs := laneBenchConfigs()
+	cells := make([]int, len(cfgs))
+	for i := range cells {
+		cells[i] = i
+	}
+	cfg := func(i int) StreamConfig { return cfgs[i] }
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				runStreamingLanes(k, cells, cfg, func(_ int, out *StreamOutcome) { out.Release() })
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(cfgs)), "ns/cell")
+		})
+	}
+}

@@ -229,11 +229,21 @@ func TestDecisionLogFormat(t *testing.T) {
 // checking the schema fields a dashboard would key on.
 func TestRunReportRoundTrip(t *testing.T) {
 	rep := NewRunReport("quick", 4)
-	rep.Experiments = append(rep.Experiments, ExperimentReport{
+	er := ExperimentReport{
 		Name: "fig9", WallClockMs: 12.5, CacheComputed: 144,
 		EventsProcessed: 1000, EventsCoalesced: 24, EventsTotal: 1024,
 		PacketsDelivered: 800, OutputBytes: 4096, OutputSHA256: "abc",
+	}
+	// Unsorted on purpose: SetCellDurations sorts and takes
+	// nearest-rank percentiles (over sorted [1 2 4 8] ms the p50 rank
+	// is index 2 and p95/max land on the largest sample).
+	er.SetCellDurations([]time.Duration{
+		4 * time.Millisecond, time.Millisecond, 8 * time.Millisecond, 2 * time.Millisecond,
 	})
+	if er.CellP50Ms != 4 || er.CellP95Ms != 8 || er.CellMaxMs != 8 {
+		t.Errorf("duration stats = %v/%v/%v ms, want 4/8/8", er.CellP50Ms, er.CellP95Ms, er.CellMaxMs)
+	}
+	rep.Experiments = append(rep.Experiments, er)
 	rep.WallClockMs = 13
 	rep.OutputSHA256 = "def"
 	rep.Mem = CaptureMemStats()
@@ -253,8 +263,8 @@ func TestRunReportRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if got.Tool != "ecfbench" || got.SchemaVersion != 1 {
-		t.Errorf("identity = %s/v%d, want ecfbench/v1", got.Tool, got.SchemaVersion)
+	if got.Tool != "ecfbench" || got.SchemaVersion != 2 {
+		t.Errorf("identity = %s/v%d, want ecfbench/v2", got.Tool, got.SchemaVersion)
 	}
 	if got.Scale != "quick" || got.Workers != 4 {
 		t.Errorf("scale/workers = %s/%d, want quick/4", got.Scale, got.Workers)
@@ -265,7 +275,7 @@ func TestRunReportRoundTrip(t *testing.T) {
 	}
 	// The JSON keys are the machine-readable contract; spot-check the
 	// snake_case names a consumer greps for.
-	for _, key := range []string{"schema_version", "wall_clock_ms", "events_coalesced", "output_sha256", "heap_alloc_bytes"} {
+	for _, key := range []string{"schema_version", "wall_clock_ms", "events_coalesced", "cell_p50_ms", "output_sha256", "heap_alloc_bytes"} {
 		if !bytes.Contains(raw, []byte(`"`+key+`"`)) {
 			t.Errorf("report JSON missing key %q", key)
 		}

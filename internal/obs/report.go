@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
+	"time"
 )
 
 // ExperimentReport is the per-experiment section of a run report. The
@@ -26,6 +28,14 @@ type ExperimentReport struct {
 	EventsTotal     uint64 `json:"events_total"`
 	// PacketsDelivered counts link deliveries (loss included).
 	PacketsDelivered int64 `json:"packets_delivered"`
+	// CellP50Ms/CellP95Ms/CellMaxMs summarize the wall-clock durations
+	// of this experiment's *computed* cells (cache hits are excluded, so
+	// the distribution describes simulation expense, not store reads,
+	// and the cell population is independent of the worker count). All
+	// zero when every cell was served from the cache. Schema 2.
+	CellP50Ms float64 `json:"cell_p50_ms"`
+	CellP95Ms float64 `json:"cell_p95_ms"`
+	CellMaxMs float64 `json:"cell_max_ms"`
 	// Sharded marks an experiment that printed a shard placeholder
 	// instead of its report (its OutputSHA256 hashes that placeholder).
 	Sharded bool `json:"sharded"`
@@ -34,6 +44,24 @@ type ExperimentReport struct {
 	// fingerprint a coordinator can compare across runs and hosts.
 	OutputBytes  int    `json:"output_bytes"`
 	OutputSHA256 string `json:"output_sha256"`
+}
+
+// SetCellDurations fills the computed-cell duration stats from one
+// experiment's per-cell wall-clock samples (nearest-rank percentiles;
+// the slice is sorted in place). No samples — a fully cached run —
+// leaves the stats zero.
+func (e *ExperimentReport) SetCellDurations(durs []time.Duration) {
+	if len(durs) == 0 {
+		return
+	}
+	sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(durs)-1) + 0.5)
+		return float64(durs[i]) / 1e6
+	}
+	e.CellP50Ms = rank(0.50)
+	e.CellP95Ms = rank(0.95)
+	e.CellMaxMs = float64(durs[len(durs)-1]) / 1e6
 }
 
 // MemStats is the heap/GC summary of a run report.
@@ -84,7 +112,7 @@ type RunReport struct {
 func NewRunReport(scale string, workers int) *RunReport {
 	return &RunReport{
 		Tool:          "ecfbench",
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,

@@ -1,0 +1,54 @@
+package results
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func TestLPTOrder(t *testing.T) {
+	// No cost hint anywhere → no reordering (nil keeps the pool on its
+	// index-order fast path).
+	if ord := lptOrder([]float64{0, 0, 0}); ord != nil {
+		t.Fatalf("lptOrder(all zero) = %v, want nil", ord)
+	}
+	if ord := lptOrder(nil); ord != nil {
+		t.Fatalf("lptOrder(nil) = %v, want nil", ord)
+	}
+	// Descending cost, stable on ties (equal-cost jobs keep their index
+	// order, preserving determinism of the dispatch sequence).
+	got := lptOrder([]float64{1, 5, 3, 5, 0})
+	want := []int{1, 3, 2, 0, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lptOrder = %v, want %v", got, want)
+	}
+}
+
+// TestBatchRunDispatchesExpensiveFirst pins the LPT wiring end to end:
+// a batch whose cells carry cost hints runs them most-expensive-first
+// on a single worker, and the collected results are untouched by the
+// reordering.
+func TestBatchRunDispatchesExpensiveFirst(t *testing.T) {
+	const n = 5
+	costs := []float64{2, 9, 1, 7, 4} // LPT order: 1, 3, 4, 0, 2
+	var ran []int
+	out := make([]rec, n)
+	b := NewBatch(runner.New(1), nil)
+	AddLanes(b, Spec{Experiment: "unit/lpt", Schema: 1, Scale: "s"}, n,
+		LaneOpts[rec]{Cost: func(i int) float64 { return costs[i] }},
+		func(i int) rec { ran = append(ran, i); return rec{Cell: i} },
+		func(i int, v rec) { out[i] = v })
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 3, 4, 0, 2}; !reflect.DeepEqual(ran, want) {
+		t.Fatalf("dispatch sequence %v, want LPT order %v", ran, want)
+	}
+	for i, v := range out {
+		if v.Cell != i {
+			t.Fatalf("out[%d] = %+v: collection must be index-faithful under reordering", i, v)
+		}
+	}
+}

@@ -207,6 +207,9 @@ type Session struct {
 	hits     atomic.Int64
 	computed atomic.Int64
 
+	durMu    sync.Mutex
+	cellDurs []time.Duration
+
 	activeMu sync.Mutex
 	active   map[Group]struct{}
 	cells    map[Spec]int
@@ -339,6 +342,32 @@ func (s *Session) ActiveCellFamilies() []CellFamily {
 // form of the internal key derivation, for coordinators enumerating
 // work lists.
 func (s Spec) Key(cell int) Key { return s.key(cell) }
+
+// noteDuration records one computed cell's wall clock. Lane groups
+// attribute the group's wall clock evenly across their computed cells
+// (individual lanes interleave on one goroutine, so per-cell walls are
+// not separable there).
+func (s *Session) noteDuration(d time.Duration) {
+	s.durMu.Lock()
+	s.cellDurs = append(s.cellDurs, d)
+	s.durMu.Unlock()
+}
+
+// TakeCellDurations drains the wall-clock samples of every cell
+// computed since the last call — the per-experiment collection point
+// for the run report's cell-duration percentiles. Cache hits record
+// nothing, so the sample population (though not the values) is
+// independent of worker count and lane width.
+func (s *Session) TakeCellDurations() []time.Duration {
+	if s == nil {
+		return nil
+	}
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	out := s.cellDurs
+	s.cellDurs = nil
+	return out
+}
 
 // Stats returns how many cells were served from the store and how many
 // were simulated since the session was created.

@@ -2,6 +2,7 @@ package results
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -19,6 +20,13 @@ type Batch struct {
 	pool    runner.Pool
 	session *Session
 	jobs    []func() error
+	// costs holds one relative cost estimate per job (0 = unknown).
+	// When any job declared a cost, Run dispatches in descending cost
+	// order (longest-processing-time): starting the expensive cells
+	// first shrinks the tail where the last worker finishes a long cell
+	// alone. Purely a dispatch hint — collection is cell-indexed, so
+	// output is identical in any order.
+	costs []float64
 }
 
 // NewBatch returns an empty batch executing on pool under session's
@@ -40,7 +48,169 @@ func Add[T any](b *Batch, spec Spec, n int, compute func(i int) T, collect func(
 	for i := 0; i < n; i++ {
 		i := i
 		b.jobs = append(b.jobs, func() error { return runCell(s, spec, i, compute, collect) })
+		b.costs = append(b.costs, 0)
 	}
+}
+
+// LaneRunner executes a set of cache-miss cells of one spec in lane
+// lockstep (see internal/sim.LaneEngine) and reports each finished
+// cell through emit, in completion order. The cells are mutually
+// independent; emit is called from the runner's own goroutine, never
+// concurrently.
+type LaneRunner[T any] func(cells []int, emit func(i int, v T))
+
+// LaneOpts configures one spec's lane-batched execution.
+type LaneOpts[T any] struct {
+	// Lanes is the lockstep width K; <= 1 selects the scalar path.
+	Lanes int
+	// Run executes a group's cache misses in lane lockstep.
+	Run LaneRunner[T]
+	// Cost, when non-nil, estimates cell i's relative compute expense
+	// for longest-processing-time dispatch (see Batch). Any positive
+	// unit works; only the ordering matters.
+	Cost func(i int) float64
+}
+
+// AddLanes registers the n cells of one spec for lane-batched
+// execution: cells are grouped into contiguous chunks of 2K, and each
+// chunk is one pool job that serves its cache hits scalar-style, then
+// drives its misses through opt.Run K at a time (a chunk of 2K keeps
+// every lane busy through the refill phase even when the group's hit
+// pattern is ragged). Per-cell policy, records and collected values
+// are identical to Add — only the worker's execution strategy differs.
+// Groups fall back to the scalar path whenever per-cell machinery is
+// needed: Lanes <= 1 or no Run, enumerate passes, an armed cell trace
+// (the traced cell must compute alone under the trace gate's write
+// lock), or a per-cell wall-clock budget (CellTimeout preempts one
+// cell's goroutine, which has no meaning for a lane group).
+func AddLanes[T any](b *Batch, spec Spec, n int, opt LaneOpts[T], compute func(i int) T, collect func(i int, v T)) {
+	if opt.Lanes <= 1 || opt.Run == nil {
+		Add(b, spec, n, compute, collect)
+		if opt.Cost != nil {
+			for i := 0; i < n; i++ {
+				b.costs[len(b.costs)-n+i] = opt.Cost(i)
+			}
+		}
+		return
+	}
+	s := b.session
+	group := opt.Lanes * 2
+	for lo := 0; lo < n; lo += group {
+		lo := lo
+		hi := lo + group
+		if hi > n {
+			hi = n
+		}
+		laneRun := opt.Run
+		b.jobs = append(b.jobs, func() error {
+			return runLaneGroup(s, spec, lo, hi, laneRun, compute, collect)
+		})
+		cost := 0.0
+		if opt.Cost != nil {
+			for i := lo; i < hi; i++ {
+				cost += opt.Cost(i)
+			}
+		}
+		b.costs = append(b.costs, cost)
+	}
+}
+
+// runLaneGroup executes cells [lo, hi) of one spec as a lane group.
+func runLaneGroup[T any](s *Session, spec Spec, lo, hi int, laneRun LaneRunner[T], compute func(int) T, collect func(int, T)) error {
+	// Scalar fallbacks: conditions that need per-cell machinery the lane
+	// loop cannot provide (see AddLanes).
+	if (s != nil && (s.Enumerate || s.CellTimeout > 0)) || obs.TraceEnabled() {
+		for i := lo; i < hi; i++ {
+			if err := runCell(s, spec, i, compute, collect); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Pre-pass: serve hits, shard skips, lease skips and merge reads per
+	// cell exactly as runCell would; what remains is this group's cache
+	// misses, which run laned.
+	var misses []int
+	for i := lo; i < hi; i++ {
+		if s == nil {
+			misses = append(misses, i)
+			continue
+		}
+		k := spec.key(i)
+		if s.Merge {
+			var v T
+			if s.Store == nil || !s.Store.Get(k, &v) {
+				if s.CollectMisses {
+					s.noteMissing(k)
+					continue
+				}
+				return &MissingCellError{Key: k}
+			}
+			s.hits.Add(1)
+			collect(i, v)
+			continue
+		}
+		if !s.Shard.Covers(i) {
+			continue
+		}
+		if s.Claims != nil && !s.Claims(k) {
+			continue
+		}
+		if s.Store != nil {
+			var v T
+			if s.Store.Get(k, &v) {
+				s.hits.Add(1)
+				if err := s.upload(k, v); err != nil {
+					return err
+				}
+				collect(i, v)
+				continue
+			}
+		}
+		misses = append(misses, i)
+	}
+	if len(misses) == 0 {
+		return nil
+	}
+	// The lanes run to completion even after a store/sink failure — the
+	// group's single goroutine has no preemption point — but the first
+	// error wins and later cells are not persisted or collected.
+	var firstErr error
+	start := time.Now()
+	laneRun(misses, func(i int, v T) {
+		if firstErr != nil {
+			return
+		}
+		firstErr = finishComputed(s, spec, i, v, collect)
+	})
+	if s != nil {
+		per := time.Since(start) / time.Duration(len(misses))
+		for range misses {
+			s.noteDuration(per)
+		}
+	}
+	return firstErr
+}
+
+// finishComputed persists and collects one freshly computed cell — the
+// tail of runCell's miss path, shared with the lane groups.
+func finishComputed[T any](s *Session, spec Spec, i int, v T, collect func(int, T)) error {
+	if s == nil {
+		collect(i, v)
+		return nil
+	}
+	s.computed.Add(1)
+	k := spec.key(i)
+	if s.Store != nil {
+		if err := s.Store.Put(k, v); err != nil {
+			return err
+		}
+	}
+	if err := s.upload(k, v); err != nil {
+		return err
+	}
+	collect(i, v)
+	return nil
 }
 
 // runCell executes one cell under the session policy.
@@ -142,8 +312,11 @@ func (s *Session) upload(k Key, v any) error {
 // deadline path is re-raised on the calling goroutine so the runner's
 // panic contract holds regardless of CellTimeout.
 func computeCell[T any](s *Session, k Key, i int, compute func(int) T) (T, error) {
+	start := time.Now()
 	if s.CellTimeout <= 0 {
-		return compute(i), nil
+		v := compute(i)
+		s.noteDuration(time.Since(start))
+		return v, nil
 	}
 	type outcome struct {
 		v   T
@@ -165,6 +338,7 @@ func computeCell[T any](s *Session, k Key, i int, compute func(int) T) (T, error
 		if out.pan != nil {
 			panic(out.pan)
 		}
+		s.noteDuration(time.Since(start))
 		return out.v, nil
 	case <-timer.C:
 		var zero T
@@ -173,14 +347,41 @@ func computeCell[T any](s *Session, k Key, i int, compute func(int) T) (T, error
 }
 
 // Run executes every registered cell across the pool and empties the
-// batch. It returns the first error (store I/O failure or merge miss);
-// compute panics propagate per the runner contract.
+// batch. Jobs with declared costs are dispatched first, most expensive
+// leading (longest-processing-time); the order never affects results,
+// only the parallel tail. It returns the first error (store I/O
+// failure or merge miss); compute panics propagate per the runner
+// contract.
 func (b *Batch) Run(ctx context.Context) error {
-	jobs := b.jobs
-	b.jobs = nil
-	return b.pool.ForEach(ctx, len(jobs), func(_ context.Context, i int) error {
+	jobs, costs := b.jobs, b.costs
+	b.jobs, b.costs = nil, nil
+	pool := b.pool
+	pool.Order = lptOrder(costs)
+	return pool.ForEach(ctx, len(jobs), func(_ context.Context, i int) error {
 		return jobs[i]()
 	})
+}
+
+// lptOrder returns the descending-cost dispatch permutation, or nil
+// when no job declared a cost (natural order). The sort is stable so
+// unhinted jobs and cost ties keep registration order.
+func lptOrder(costs []float64) []int {
+	hinted := false
+	for _, c := range costs {
+		if c != 0 {
+			hinted = true
+			break
+		}
+	}
+	if !hinted {
+		return nil
+	}
+	ord := make([]int, len(costs))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return costs[ord[a]] > costs[ord[b]] })
+	return ord
 }
 
 // Run executes one spec's n cells through pool under session — the

@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestOrderHintSerialDispatch pins that a valid Order hint is the exact
+// serial dispatch sequence at one worker, and that every job still runs
+// exactly once.
+func TestOrderHintSerialDispatch(t *testing.T) {
+	const n = 6
+	hint := []int{4, 2, 5, 0, 3, 1}
+	var got []int
+	p := New(1)
+	p.Order = hint
+	if err := p.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+		got = append(got, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("ran %d jobs, want %d", len(got), n)
+	}
+	for k, j := range hint {
+		if got[k] != j {
+			t.Fatalf("dispatch sequence %v, want the hint %v", got, hint)
+		}
+	}
+}
+
+// TestOrderHintParallelCoverage checks the hint changes only dispatch
+// order, never coverage: every job runs exactly once at any width.
+func TestOrderHintParallelCoverage(t *testing.T) {
+	const n = 33
+	hint := make([]int, n)
+	for i := range hint {
+		hint[i] = n - 1 - i
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		counts := make([]int, n)
+		p := New(workers)
+		p.Order = hint
+		if err := p.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestOrderHintInvalidIgnored pins that a malformed hint — wrong
+// length, out-of-range index, duplicate index — is ignored rather than
+// trusted: dispatch falls back to index order and coverage is intact.
+func TestOrderHintInvalidIgnored(t *testing.T) {
+	const n = 5
+	bad := map[string][]int{
+		"wrong length": {0, 1, 2},
+		"out of range": {0, 1, 2, 3, 7},
+		"negative":     {0, 1, 2, 3, -1},
+		"duplicate":    {0, 1, 2, 2, 4},
+	}
+	for name, hint := range bad {
+		var got []int
+		p := New(1)
+		p.Order = hint
+		if err := p.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+			got = append(got, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for k := range got {
+			if got[k] != k {
+				t.Fatalf("%s: dispatch sequence %v, want index order (hint ignored)", name, got)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("%s: ran %d jobs, want %d", name, len(got), n)
+		}
+	}
+}

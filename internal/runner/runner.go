@@ -37,10 +37,38 @@ type Pool struct {
 	// goroutine-safe and fast (it runs on the worker's critical path).
 	// Like Workers it can never affect job results — it only observes.
 	OnProgress func(done, total int)
+	// Order, when non-nil, is a dispatch-order hint: a permutation of
+	// [0, n) for the next ForEach call, dispatched front to back.
+	// Sweeps use it to start known-expensive jobs first
+	// (longest-processing-time), shrinking the tail where the last
+	// worker finishes a long job alone. It is strictly observational:
+	// results land in caller-indexed storage regardless of order, so
+	// output is byte-identical with or without a hint. A hint that is
+	// not a permutation of [0, n) — wrong length, out-of-range or
+	// duplicate entries — is ignored rather than trusted.
+	Order []int
 }
 
 // New returns a pool bounded to the given worker count (0 = GOMAXPROCS).
 func New(workers int) Pool { return Pool{Workers: workers} }
+
+// order validates the dispatch hint for n jobs: a permutation of [0, n)
+// is returned as-is, anything else (including no hint) yields nil and
+// natural order.
+func (p Pool) order(n int) []int {
+	ord := p.Order
+	if len(ord) != n {
+		return nil
+	}
+	seen := make([]bool, n)
+	for _, j := range ord {
+		if j < 0 || j >= n || seen[j] {
+			return nil
+		}
+		seen[j] = true
+	}
+	return ord
+}
 
 // workers resolves the effective worker count for n jobs.
 func (p Pool) workers(n int) int {
@@ -99,8 +127,9 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i
 		return ctx.Err()
 	}
 	w := p.workers(n)
+	ord := p.order(n)
 	if w == 1 {
-		return p.serial(ctx, n, fn)
+		return p.serial(ctx, n, ord, fn)
 	}
 
 	cctx, cancel := context.WithCancel(ctx)
@@ -146,6 +175,9 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i
 				if i >= n || cctx.Err() != nil {
 					return
 				}
+				if ord != nil {
+					i = ord[i]
+				}
 				runOne(i)
 				if p.OnProgress != nil {
 					p.OnProgress(int(done.Add(1)), n)
@@ -167,12 +199,16 @@ func (p Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i
 // serial is the one-worker fast path: inline execution, no goroutines.
 // Panics are wrapped in *PanicError exactly as on the parallel path, so
 // the contract callers see does not depend on the worker count.
-func (p Pool) serial(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+func (p Pool) serial(ctx context.Context, n int, ord []int, fn func(ctx context.Context, i int) error) error {
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		err := p.serialOne(ctx, i, fn)
+		j := i
+		if ord != nil {
+			j = ord[i]
+		}
+		err := p.serialOne(ctx, j, fn)
 		if p.OnProgress != nil {
 			p.OnProgress(i+1, n)
 		}

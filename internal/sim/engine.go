@@ -70,6 +70,22 @@
 // scheduling, firing and cancelling timers perform zero heap
 // allocations — the AllocsPerRun regression tests in this package and in
 // netsim/tcp pin that at ~0 allocations per packet.
+//
+// # Lane-batched execution
+//
+// A LaneEngine drives up to MaxLanes mutually independent engines — one
+// simulation cell each — through a single merged dispatch loop on one
+// goroutine. The contract is strict: each lane's own (time, ticket)
+// dispatch order, its inline-claim decisions and its final clock are
+// exactly what a scalar RunUntil of that cell alone would produce, so
+// every byte of experiment output is lane-invisible; only the on-worker
+// interleave of the lanes differs, and no output can observe it. The
+// dispatcher keeps a structure-of-arrays scoreboard of per-lane next
+// event times and lets the running lane burst up to a bounded sim-time
+// drift window past the other lanes' heads before switching, so lane
+// switches amortize over dozens of events. RunLaneDone returns each
+// lane as it completes, letting a sweep worker stream a cell list
+// through a fixed set of lanes (retire, collect, refill).
 package sim
 
 import (

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxLanes bounds how many engines a LaneEngine can drive in lockstep.
+// The win comes from overlapping a handful of independent per-event
+// dependency chains inside one core's out-of-order window; past a few
+// lanes the combined working set outgrows the close caches and the
+// merged pick scan stops being free. 8 is comfortably past the knee.
+const MaxLanes = 8
+
+// laneInactive is the scoreboard key of a lane with nothing to
+// dispatch. It sorts after every real event time, so the pick scan
+// skips parked lanes without a separate activity check.
+const laneInactive = Time(math.MaxInt64)
+
+// laneDrift is how far (in simulated time) the running lane may run
+// past another lane's next event before the dispatcher switches. Zero
+// would be the strict merged (at, lane, ticket) order; since the lanes
+// are independent simulations, the interleave is unobservable, and a
+// bounded drift window lets a lane burst through many events while its
+// per-lane state is hot instead of ping-ponging between lanes whose
+// event times interleave finely. 100ms of sim time is a few dozen
+// events on the grid workload — long enough to amortize the lane
+// switch, short enough that lanes still finish (and refill) together.
+const laneDrift = Time(100 * 1e6)
+
+// LaneEngine drives up to K independent engines through one merged
+// dispatch order keyed (at, lane, ticket): at every step the earliest
+// pending event across all lanes runs, with cross-lane timestamp ties
+// going to the lane already running (the lowest lane index when none
+// is mid-burst) and each lane's own (time, ticket) heap order breaking
+// ties within it. Because the lanes are mutually independent
+// simulations, each lane's dispatch sequence — and therefore every
+// tie-break and every byte of its output — is exactly what a scalar
+// Engine.RunUntil of that lane alone would produce; the merged order
+// only fixes how the lanes interleave on the worker, which no output
+// can observe.
+//
+// The point of the interleave is throughput: consecutive dispatches
+// touch different heaps, arenas and transport state, so their
+// dependency chains are independent and the core's out-of-order window
+// overlaps them, where a scalar run serializes each event behind the
+// previous one's heap writes. The per-lane next-event keys live in a
+// small structure-of-arrays scoreboard (one contiguous Time slice) so
+// the pick scan reads one cache line and never chases into the lanes'
+// heaps.
+//
+// A LaneEngine is single-goroutine, like the engines it drives. Lanes
+// run under per-lane deadlines (RunUntil semantics, inline RunsNext
+// claims included); deadlines must be below the maximum Time, which
+// doubles as the parked-lane sentinel.
+type LaneEngine struct {
+	// headAt is the SoA scoreboard: headAt[i] is lane i's next dispatch
+	// time, or laneInactive when the lane is parked or complete.
+	headAt []Time
+	// engs/deadlines are the per-lane engine handles and RunUntil
+	// deadlines, indexed like headAt.
+	engs      []*Engine
+	deadlines []Time
+	active    int
+	// done queues lanes that were complete the moment they were set
+	// (already-empty queue, first event past the deadline), so
+	// RunLaneDone can retire them without the pick scan ever seeing
+	// them.
+	done []int
+}
+
+// NewLaneEngine returns a lane engine with k parked lanes.
+func NewLaneEngine(k int) *LaneEngine {
+	if k < 1 || k > MaxLanes {
+		panic(fmt.Sprintf("sim: NewLaneEngine with %d lanes (want 1..%d)", k, MaxLanes))
+	}
+	le := &LaneEngine{
+		headAt:    make([]Time, k),
+		engs:      make([]*Engine, k),
+		deadlines: make([]Time, k),
+		done:      make([]int, 0, k),
+	}
+	for i := range le.headAt {
+		le.headAt[i] = laneInactive
+	}
+	return le
+}
+
+// Lanes returns the lane count K.
+func (le *LaneEngine) Lanes() int { return len(le.headAt) }
+
+// Active returns how many lanes currently hold an engine.
+func (le *LaneEngine) Active() int { return le.active }
+
+// SetLane installs an engine on a parked lane with a RunUntil deadline.
+// The engine must already hold its initial events (the cell's setup has
+// run); from here until RunLaneDone retires the lane, the engine is
+// inside a run loop — inline RunsNext claims up to the deadline are
+// live, exactly as in Engine.RunUntil.
+func (le *LaneEngine) SetLane(i int, e *Engine, deadline Time) {
+	if le.engs[i] != nil {
+		panic(fmt.Sprintf("sim: SetLane on occupied lane %d", i))
+	}
+	if deadline >= laneInactive {
+		panic("sim: SetLane deadline must be below the maximum Time")
+	}
+	e.stopped = false
+	e.limit = deadline
+	le.engs[i] = e
+	le.deadlines[i] = deadline
+	le.active++
+	if len(e.heap) == 0 || e.heap[0].at > deadline {
+		le.done = append(le.done, i)
+		return
+	}
+	le.headAt[i] = e.heap[0].at
+}
+
+// RunLaneDone dispatches merged events until one lane completes its
+// run — no pending event at or before its deadline remains, or its
+// engine was stopped — then retires that lane exactly as
+// Engine.RunUntil would have finished it (claim limit cleared, clock
+// advanced to the deadline) and returns its index. The lane is parked;
+// the caller collects the cell, closes its network, and may SetLane a
+// fresh cell on the same index. Returns -1 when no lanes are occupied.
+func (le *LaneEngine) RunLaneDone() int {
+	if n := len(le.done); n > 0 {
+		i := le.done[n-1]
+		le.done = le.done[:n-1]
+		le.retire(i)
+		return i
+	}
+	heads := le.headAt
+	for {
+		// Pick the merged-order head (minimum next dispatch time) and
+		// the runner-up time in one scan. Scanning in ascending lane
+		// index with strict < makes the lower lane win the pick on
+		// timestamp ties.
+		best := -1
+		bestAt := laneInactive
+		second := laneInactive
+		for i, at := range heads {
+			if at < bestAt {
+				second = bestAt
+				best, bestAt = i, at
+			} else if at < second {
+				second = at
+			}
+		}
+		if best < 0 {
+			return -1
+		}
+		// Burst: keep stepping the picked lane while it stays within
+		// the drift window of the runner-up (ties included — the
+		// running lane wins ties, see the type doc). The inner loop is
+		// Engine.RunUntil's with one extra compare, so a lane burst
+		// costs the same per event as a scalar run, and the pick scan
+		// above amortizes over the burst. (at-laneDrift avoids
+		// overflowing second, which is laneInactive = the maximum Time
+		// when best is the only occupied lane.)
+		e := le.engs[best]
+		deadline := le.deadlines[best]
+		for {
+			e.Step()
+			if e.stopped || len(e.heap) == 0 || e.heap[0].at > deadline {
+				le.retire(best)
+				return best
+			}
+			if at := e.heap[0].at; at-laneDrift > second {
+				heads[best] = at
+				break
+			}
+		}
+	}
+}
+
+// retire finishes a lane's run the way Engine.RunUntil returns: inline
+// claims are shut off and the clock advances to the deadline when the
+// queue went quiet early. The engine handle is dropped so the caller's
+// Close/Reset is the only owner afterwards.
+func (le *LaneEngine) retire(i int) {
+	e := le.engs[i]
+	e.limit = noRunLimit
+	if e.now < le.deadlines[i] {
+		e.now = le.deadlines[i]
+	}
+	le.engs[i] = nil
+	le.headAt[i] = laneInactive
+	le.active--
+}
