@@ -1,6 +1,6 @@
 // Command benchguard turns microbenchmark output into a CI gate: it
 // reads `go test -bench` output on stdin, looks up each guarded
-// benchmark's pinned ceiling in the committed BENCH_pr9.json, and exits
+// benchmark's pinned ceiling in the committed BENCH_pr10.json, and exits
 // non-zero when ns/op, allocs/op or events/op regresses past the slack
 // factor. The events/op metric (emitted by the guarded benchmarks via
 // b.ReportMetric from the engine's processed+coalesced counters) pins
@@ -12,7 +12,7 @@
 //
 //	go test -run xxx -bench 'EngineScheduleRun$|LinkSend$|SubflowTransfer$' \
 //	    -benchmem ./internal/sim ./internal/netsim ./internal/tcp \
-//	  | benchguard -baseline BENCH_pr9.json
+//	  | benchguard -baseline BENCH_pr10.json
 //
 // Every benchmark named in the baseline's guard_ceilings section must
 // appear in the input — a benchmark that silently stops running would
@@ -37,7 +37,7 @@ type ceiling struct {
 	EventsPerOp float64 `json:"events_per_op"`
 }
 
-// baseline is the slice of BENCH_pr9.json this tool reads; the rest of
+// baseline is the slice of BENCH_pr10.json this tool reads; the rest of
 // the file (narrative before/after numbers) is for humans.
 type baseline struct {
 	GuardCeilings map[string]ceiling `json:"guard_ceilings"`
@@ -88,7 +88,7 @@ func parseBenchLine(line string) (string, measurement, bool) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr9.json", "baseline JSON with a guard_ceilings section")
+	baselinePath := flag.String("baseline", "BENCH_pr10.json", "baseline JSON with a guard_ceilings section")
 	slack := flag.Float64("slack", 1.25, "allowed regression factor over the pinned ceilings")
 	flag.Parse()
 

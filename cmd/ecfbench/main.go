@@ -20,6 +20,7 @@
 //	ecfbench -exp fig9 -trace-cell grid/ecf/14 -trace-out trace.json  # flight-record one cell
 //	ecfbench -exp all -report-json report.json    # machine-readable run summary
 //	ecfbench -exp all -progress                   # cells/total + ETA on stderr
+//	ecfbench -exp all -queue tiered               # A/B the event queue; stdout unchanged
 //	ecfbench -exp all -debug-addr localhost:6060  # live pprof + counter snapshot
 //
 // Each experiment prints the same rows/series the paper reports (see
@@ -476,8 +477,9 @@ func startDebugServer(addr string) {
 
 // writeTrace exports the captured cell recorder: a Chrome trace-event
 // JSON file (load in Perfetto or chrome://tracing) and optionally a
-// human-readable per-transfer scheduler decision log.
-func writeTrace(traceOut, decisionsOut string) {
+// human-readable per-transfer scheduler decision log. Both destinations
+// were opened (clobber-guarded) before the run started.
+func writeTrace(traceFile, decsFile *os.File) {
 	rec := obs.CapturedCell()
 	if rec == nil {
 		fail("-trace-cell: the selected cell never ran — check the family name and index against the chosen -exp and -scale (and any -shard); the index follows the LAST '/', e.g. grid/ecf/14 is cell 14 of family \"grid/ecf\"")
@@ -488,15 +490,11 @@ func writeTrace(traceOut, decisionsOut string) {
 		}
 		return fmt.Sprintf("kind-%d", k)
 	}
-	f, err := os.Create(traceOut)
-	if err != nil {
+	if err := rec.WriteChromeTrace(traceFile, kindName); err != nil {
+		traceFile.Close()
 		fail("-trace-out: %v", err)
 	}
-	if err := rec.WriteChromeTrace(f, kindName); err != nil {
-		f.Close()
-		fail("-trace-out: %v", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := traceFile.Close(); err != nil {
 		fail("-trace-out: %v", err)
 	}
 	fmt.Fprintf(os.Stderr,
@@ -506,22 +504,30 @@ func writeTrace(traceOut, decisionsOut string) {
 		rec.Packets.Total(), rec.Packets.Dropped(),
 		rec.Subflows.Total(), rec.Subflows.Dropped(),
 		rec.Decisions.Total(), rec.Decisions.Dropped(),
-		traceOut)
-	if decisionsOut == "" {
+		traceFile.Name())
+	if decsFile == nil {
 		return
 	}
-	df, err := os.Create(decisionsOut)
-	if err != nil {
+	if err := rec.WriteDecisionLog(decsFile); err != nil {
+		decsFile.Close()
 		fail("-decisions-out: %v", err)
 	}
-	if err := rec.WriteDecisionLog(df); err != nil {
-		df.Close()
+	if err := decsFile.Close(); err != nil {
 		fail("-decisions-out: %v", err)
 	}
-	if err := df.Close(); err != nil {
-		fail("-decisions-out: %v", err)
+	fmt.Fprintf(os.Stderr, "decision log: %d decisions → %s\n", rec.Decisions.Total(), decsFile.Name())
+}
+
+// queueLine renders the event-queue telemetry flushed by engine resets:
+// the implementation in use, queue depth, and (tiered only) the tier
+// split and dispatch-bucket sort counters.
+func queueLine(k sim.QueueKind, qs sim.QueueStats) string {
+	s := fmt.Sprintf("queue: %s, depth max %d mean %.1f", k, qs.DepthMax, qs.DepthMean())
+	if k == sim.QueueTiered {
+		s += fmt.Sprintf(", %d near / %d far / %d migrated, %d bucket sorts (max bucket %d)",
+			qs.NearScheduled, qs.FarScheduled, qs.Migrated, qs.BucketSorts, qs.BucketMax)
 	}
-	fmt.Fprintf(os.Stderr, "decision log: %d decisions → %s\n", rec.Decisions.Total(), decisionsOut)
+	return s
 }
 
 // eventLine renders the per-run event telemetry: how many logical
@@ -566,19 +572,29 @@ func main() {
 		dryRun    = flag.Bool("dry-run", false, "with -cache-prune: report what would be deleted without removing anything")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		force     = flag.Bool("force", false, "allow -cpuprofile/-memprofile to overwrite an existing file")
+		force     = flag.Bool("force", false, "allow -cpuprofile/-memprofile/-trace-out/-decisions-out/-report-json to overwrite an existing file")
 		traceCell = flag.String("trace-cell", "", "flight-record one simulation cell, given as \"family/index\" with the index after the LAST '/' (e.g. grid/ecf/14); requires -exp and -trace-out")
 		traceOut  = flag.String("trace-out", "", "write the traced cell's Chrome trace-event JSON (Perfetto/chrome://tracing) to this file (requires -trace-cell)")
 		decsOut   = flag.String("decisions-out", "", "also write the traced cell's per-transfer scheduler decision log to this file (requires -trace-cell)")
 		reportOut = flag.String("report-json", "", "write a machine-readable run report (per-experiment wall clock, cache/event counters, output hashes, heap stats) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and a /debug/obs counter snapshot on this address (e.g. localhost:6060) for the life of the run")
 		progress  = flag.Bool("progress", false, "report cells completed/total with rate and ETA on stderr while sweeps run")
+		queueName = flag.String("queue", sim.DefaultQueue().String(), "event-queue implementation: heap (4-ary min-heap) or tiered (two-tier calendar); output is byte-identical either way")
 		lanes     = flag.Int("lanes", 1, "run up to K similar cells in lane lockstep per worker (grid-family experiments; others run scalar; 1 = classic scalar execution)")
 		joinAddr  = flag.String("join", "", "join the ecfd coordinator at this host:port as a lease-loop worker (the coordinator dictates the scale)")
 		workerID  = flag.String("worker-id", "", "worker identity for -join leases and logs (default hostname-pid)")
 		cellTO    = flag.Duration("cell-timeout", 0, "per-cell wall-clock budget; a cell exceeding it fails loudly naming the experiment and cell index (0 = no deadline)")
 	)
 	flag.Parse()
+
+	// Select the queue implementation before anything simulates (pooled
+	// engines re-adopt the default at Reset, so this also covers engines
+	// a package-level init may already have built).
+	if qk, err := sim.ParseQueueKind(*queueName); err != nil {
+		failUsage("-queue: %v", err)
+	} else {
+		sim.SetDefaultQueue(qk)
+	}
 
 	if *cellTO < 0 {
 		failUsage("-cell-timeout must be a positive duration")
@@ -676,6 +692,20 @@ func main() {
 	}
 	stopProfiles := profiling(*cpuProf, *memProf, *force)
 	defer stopProfiles()
+
+	// Artifact destinations open up front under the same clobber guard
+	// as the profiles: a refusal (or an unwritable path) aborts before
+	// hours of simulation, not after.
+	var traceFile, decsFile, reportFile *os.File
+	if *traceOut != "" {
+		traceFile = createProfile("-trace-out", *traceOut, *force)
+	}
+	if *decsOut != "" {
+		decsFile = createProfile("-decisions-out", *decsOut, *force)
+	}
+	if *reportOut != "" {
+		reportFile = createProfile("-report-json", *reportOut, *force)
+	}
 
 	if *list || *expName == "" {
 		names := make([]string, 0, len(catalog))
@@ -834,14 +864,30 @@ func main() {
 		reportMissing(sc.Results, *cacheDir, *scale)
 	}
 
+	qs := sim.TotalQueueStats()
+	fmt.Fprintln(os.Stderr, queueLine(sim.DefaultQueue(), qs))
+
 	if *traceCell != "" {
-		writeTrace(*traceOut, *decsOut)
+		writeTrace(traceFile, decsFile)
 	}
 	if report != nil {
 		report.WallClockMs = float64(time.Since(runStart).Nanoseconds()) / 1e6
 		report.OutputSHA256 = hex.EncodeToString(runHash.Sum(nil))
+		report.Queue = obs.QueueReport{
+			Kind:          sim.DefaultQueue().String(),
+			DepthMax:      qs.DepthMax,
+			DepthMean:     qs.DepthMean(),
+			NearScheduled: qs.NearScheduled,
+			FarScheduled:  qs.FarScheduled,
+			Migrated:      qs.Migrated,
+			BucketSorts:   qs.BucketSorts,
+			BucketMax:     qs.BucketMax,
+		}
 		report.Mem = obs.CaptureMemStats()
-		if err := report.WriteFile(*reportOut); err != nil {
+		if err := report.Write(reportFile); err != nil {
+			fail("-report-json: %v", err)
+		}
+		if err := reportFile.Close(); err != nil {
 			fail("-report-json: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "run report: %d experiments → %s\n", len(report.Experiments), *reportOut)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -88,6 +89,21 @@ func CaptureMemStats() MemStats {
 	}
 }
 
+// QueueReport is the event-queue telemetry section of a run report
+// (schema 3): which queue implementation the run used and the
+// process-wide depth/tier counters flushed by engine resets. The tier
+// counters (near/far/migrated/sorts) are zero under the heap queue.
+type QueueReport struct {
+	Kind          string  `json:"kind"`
+	DepthMax      uint64  `json:"depth_max"`
+	DepthMean     float64 `json:"depth_mean"`
+	NearScheduled uint64  `json:"near_scheduled"`
+	FarScheduled  uint64  `json:"far_scheduled"`
+	Migrated      uint64  `json:"migrated"`
+	BucketSorts   uint64  `json:"bucket_sorts"`
+	BucketMax     uint64  `json:"bucket_max"`
+}
+
 // RunReport is the machine-readable run summary ecfbench -report-json
 // emits — the artifact an ecfd sweep worker ships to its coordinator.
 type RunReport struct {
@@ -104,15 +120,19 @@ type RunReport struct {
 	WallClockMs float64            `json:"wall_clock_ms"`
 	Experiments []ExperimentReport `json:"experiments"`
 	// OutputSHA256 hashes the run's whole stdout.
-	OutputSHA256 string   `json:"output_sha256"`
-	Mem          MemStats `json:"mem"`
+	OutputSHA256 string `json:"output_sha256"`
+	// Queue is the event-queue telemetry (schema 3). The obs package
+	// cannot see the sim package, so the caller fills it from
+	// sim.TotalQueueStats.
+	Queue QueueReport `json:"queue"`
+	Mem   MemStats    `json:"mem"`
 }
 
 // NewRunReport returns a report with the environment fields filled in.
 func NewRunReport(scale string, workers int) *RunReport {
 	return &RunReport{
 		Tool:          "ecfbench",
-		SchemaVersion: 2,
+		SchemaVersion: 3,
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
@@ -122,12 +142,28 @@ func NewRunReport(scale string, workers int) *RunReport {
 	}
 }
 
-// WriteFile writes the report as indented JSON.
-func (r *RunReport) WriteFile(path string) error {
+// Write writes the report as indented JSON to w (the caller owns the
+// destination — ecfbench opens it up front so a clobber refusal aborts
+// before the run, not after).
+func (r *RunReport) Write(w io.Writer) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

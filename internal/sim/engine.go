@@ -31,26 +31,59 @@
 //   - Handlers run on the engine's goroutine; they may schedule, cancel
 //     and reserve tickets freely.
 //
+// # Event queue: 4-ary heap (default) or two-tier calendar
+//
+// Two queue implementations are available, selected per engine
+// (QueueKind, SetDefaultQueue, the ecfbench -queue flag). Both dispatch
+// in the identical (at, seq) total order; the choice is invisible to
+// every model and every output byte.
+//
+// The heap queue (QueueHeap, the default) is a single 4-ary min-heap of
+// key-packed entries; Cancel removes eagerly in O(log n). It is the
+// default because measurement, not theory, says so: the sweep's live
+// queue is shallow (mean depth ~6.5, max ~29 on the quick catalog), so
+// a sift touches barely one level and the calendar queue's bucket
+// machinery costs more than the log n it removes (see BENCH_pr10.json).
+//
+// The tiered queue (QueueTiered, opt-in via -queue tiered) is a calendar queue
+// specialized for this simulator's short scheduling horizons: a ring of
+// power-of-two-width time buckets covers ~a few srtt of virtual time
+// around the dispatch cursor, and an event inside that window is
+// appended to its bucket in O(1). A bucket is sorted by the full
+// (at, seq) key only when the cursor reaches it — the per-event
+// ordering cost is an amortized O(1) append plus a share of one small,
+// cache-resident sort instead of an O(log n) sift. Events beyond the
+// window land in an overflow tier (the 4-ary heap below) and migrate
+// into buckets as the window advances; when every bucket is empty the
+// window jumps straight to the overflow head. Cancel on a bucketed
+// event frees its arena slot eagerly but leaves a tombstone entry that
+// is dropped when its bucket is sorted or dispatched — Pending never
+// counts tombstones, and Timer.At still reads the exact scheduled time
+// through the slot's packed bucket location. It earns its keep at
+// depths the sweep does not reach (see BenchmarkEventQueueChurn); at
+// the catalog's depths it measured ~6% slower than the heap, which is
+// why it is not the default.
+//
 // # Allocation and layout contract
 //
 // The engine is built for allocation-free, cache-resident steady-state
 // operation:
 //
 //   - Timers live in an engine-owned arena recycled through a free list;
-//     a slot holds only the event argument, its generation and its heap
-//     position — 24 bytes. The event's kind travels in the heap entry
-//     (it fits the entry's alignment padding), so dispatch never waits
-//     on an extra arena load.
-//   - The event queue is a 4-ary min-heap of 24-byte entries that embed
-//     the full ordering key (at, seq) next to the arena slot index, so
-//     sift comparisons read only the contiguous heap slice and never
-//     chase a pointer into the arena. The arena is touched exactly once
-//     per moved entry (to maintain the slot's heap position for eager
-//     Cancel), not once per comparison.
-//   - Reset returns an engine to time zero while keeping the arena and
-//     heap at their grown capacity, and Acquire/Release pool engines so
-//     a sweep of thousands of simulation cells re-grows these structures
-//     once per worker instead of once per cell.
+//     a slot holds only the event argument, its generation and its
+//     queue position — 24 bytes. The event's kind travels in the queue
+//     entry (it fits the entry's alignment padding), so dispatch never
+//     waits on an extra arena load.
+//   - Queue entries are 24 bytes and embed the full ordering key
+//     (at, seq) next to the arena slot index, so comparisons — heap
+//     sifts and bucket sorts alike — read only contiguous entry slices
+//     and never chase a pointer into the arena. The arena is touched
+//     exactly once per moved entry (to maintain the slot's queue
+//     position for eager Cancel and Timer.At), not once per comparison.
+//   - Reset returns an engine to time zero while keeping the arena,
+//     heap and bucket ring at their grown capacity, and Acquire/Release
+//     pool engines so a sweep of thousands of simulation cells re-grows
+//     these structures once per worker instead of once per cell.
 //
 // # Event-count reduction: tickets and inline claims
 //
@@ -187,18 +220,29 @@ func (t Timer) Active() bool {
 }
 
 // At returns the virtual time the timer is scheduled to fire, or 0 if it
-// already fired or was cancelled.
+// already fired or was cancelled. The scheduled time is read through the
+// slot's queue location, so it is exact under both queue kinds —
+// including tiered-queue events whose bucket has not been sorted yet.
 func (t Timer) At() Time {
 	if !t.Active() {
 		return 0
 	}
-	return t.e.heap[t.e.arena[t.slot].pos].at
+	e := t.e
+	pos := e.arena[t.slot].pos
+	if pos >= 0 {
+		return e.heap[pos].at
+	}
+	packed := ^pos
+	return e.buckets[packed>>locIdxBits][packed&locIdxMask].at
 }
 
-// Cancel removes the timer from the queue eagerly, so cancelled events
-// cost no queue space and no pop-time filtering. Cancelling an
-// already-fired or already-cancelled timer — or the zero Timer — is a
-// no-op.
+// Cancel removes the timer from the queue. The arena slot is always
+// freed eagerly (arm/cancel churn stays allocation-free); on the heap
+// tier the entry is removed eagerly too, while a bucketed entry of the
+// tiered queue becomes a tombstone that its bucket drops at sort or
+// dispatch time — it never counts as pending and never fires.
+// Cancelling an already-fired or already-cancelled timer — or the zero
+// Timer — is a no-op.
 func (t Timer) Cancel() {
 	e := t.e
 	if e == nil {
@@ -208,14 +252,23 @@ func (t Timer) Cancel() {
 	if s.gen != t.gen {
 		return // already fired, cancelled, or slot reused
 	}
-	e.heapRemove(int(s.pos))
+	if s.pos >= 0 {
+		e.heapRemove(int(s.pos))
+	} else {
+		packed := ^s.pos
+		e.buckets[packed>>locIdxBits][packed&locIdxMask].slot = tombSlot
+		e.nearCount--
+	}
 	e.freeSlot(t.slot)
 }
 
 // slot is one arena entry: the event argument and the bookkeeping that
-// ties it to the heap. The ordering key and the event kind live in the
-// heap entry itself, not here. While scheduled, pos is the timer's index
-// in the heap; while free, pos chains the free list.
+// ties it to the queue. The ordering key and the event kind live in the
+// queue entry itself, not here. While scheduled, pos locates the
+// timer's entry: a non-negative pos is a heap index (heap queue, or the
+// tiered queue's overflow tier), a negative pos is a packed bucket
+// location (^(ring<<locIdxBits|index)). While free, pos chains the free
+// list.
 type slot struct {
 	arg any
 	gen uint32
@@ -253,12 +306,38 @@ type Engine struct {
 	arena    []slot
 	freeHead int32
 	// heap is a 4-ary min-heap of key-packed entries ordered by
-	// (at, seq). 4-ary beats binary here: sift-down does 3 extra
-	// comparisons per level but halves the levels, and with 24-byte
-	// entries the four children of a node share two cache lines.
+	// (at, seq): the whole queue in heap mode, the far-future overflow
+	// tier in tiered mode. 4-ary beats binary here: sift-down does 3
+	// extra comparisons per level but halves the levels, and with
+	// 24-byte entries the four children of a node share two cache
+	// lines.
 	heap    []heapEnt
 	seq     uint64
 	stopped bool
+	// tiered selects the queue implementation (see tierqueue.go);
+	// pinnedQueue marks engines built with NewWithQueue, which never
+	// re-adopt the process default.
+	tiered      bool
+	pinnedQueue bool
+	// Near-tier state (tiered mode only). buckets is the ring; curDay
+	// is the absolute bucket number of the dispatch cursor (monotone,
+	// >= day(now)); curIdx is the next entry in the dispatch bucket
+	// once curSorted marks it sorted; nearCount counts live
+	// (non-tombstone) entries across all buckets.
+	buckets   [][]heapEnt
+	curDay    int64
+	curIdx    int
+	curSorted bool
+	nearCount int
+	// bucketCap is the shared per-bucket capacity: every ring bucket is
+	// carved from one backing array at exactly this capacity, and a full
+	// bucket grows by re-carving the whole ring at double the capacity
+	// (see growBucket) — so the ring converges to the global max
+	// occupancy and steady-state appends stop allocating. It survives
+	// Reset, like the arena and heap capacity.
+	bucketCap int
+	// qstats is the per-run queue telemetry, flushed by Reset.
+	qstats queueCounters
 	// limit bounds inline claims (RunsNext): Run lifts it to maxTime,
 	// RunUntil to its deadline, so a batching drain can never advance
 	// the clock past what the run loop itself would dispatch. Outside a
@@ -283,9 +362,23 @@ type Engine struct {
 	flight *obs.FlightRecorder
 }
 
-// New returns an empty Engine positioned at time 0.
+// New returns an empty Engine positioned at time 0, using the
+// process-default queue kind (which the engine re-adopts at every
+// Reset, so pooled engines follow SetDefaultQueue).
 func New() *Engine {
-	return &Engine{freeHead: noSlot, limit: noRunLimit, curSeq: uint64(idleTicket)}
+	e := &Engine{freeHead: noSlot, limit: noRunLimit, curSeq: uint64(idleTicket)}
+	e.setQueueKind(DefaultQueue())
+	return e
+}
+
+// NewWithQueue returns an empty Engine pinned to the given queue kind:
+// it keeps that kind across Reset regardless of the process default.
+// For A/B comparisons and tests; production engines come from New.
+func NewWithQueue(k QueueKind) *Engine {
+	e := &Engine{freeHead: noSlot, limit: noRunLimit, curSeq: uint64(idleTicket)}
+	e.setQueueKind(k)
+	e.pinnedQueue = true
+	return e
 }
 
 // totalProcessed and totalCoalesced accumulate, across every engine in
@@ -311,10 +404,13 @@ func TotalEvents() (processed, coalesced uint64) {
 // handle is invalidated (their generation is bumped) and every pending
 // event argument is dropped, so the previous simulation's object graph
 // becomes collectable even while the engine sits in a pool. The run's
-// event counters are flushed into the process-wide totals.
+// event and queue-telemetry counters are flushed into the process-wide
+// totals, and an unpinned engine re-adopts the process-default queue
+// kind.
 func (e *Engine) Reset() {
 	totalProcessed.Add(e.processed)
 	totalCoalesced.Add(e.coalesced)
+	e.flushQueueStats()
 	for i := range e.arena {
 		s := &e.arena[i]
 		s.gen++
@@ -326,6 +422,14 @@ func (e *Engine) Reset() {
 		e.freeHead = int32(n - 1)
 	}
 	e.heap = e.heap[:0]
+	for i := range e.buckets {
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	e.curDay = 0
+	e.curIdx = 0
+	e.curSorted = false
+	e.nearCount = 0
+	e.adoptDefaultQueue()
 	e.now = 0
 	e.seq = 0
 	e.processed = 0
@@ -362,8 +466,36 @@ func (e *Engine) Coalesced() uint64 { return e.coalesced }
 func (e *Engine) CurrentTicket() Ticket { return Ticket(e.curSeq) }
 
 // Pending returns the number of events waiting in the queue. Cancelled
-// timers are removed eagerly and never counted.
-func (e *Engine) Pending() int { return len(e.heap) }
+// timers are never counted — the heap tier removes them eagerly, the
+// bucket tier excludes tombstones from its live count.
+func (e *Engine) Pending() int { return e.nearCount + len(e.heap) }
+
+// PeekTime returns the virtual time of the next event the engine would
+// dispatch, or the maximum Time when the queue is empty. O(1) on the
+// heap queue; amortized O(1) on the tiered queue (the peek may settle
+// the dispatch bucket — work Step would otherwise do).
+func (e *Engine) PeekTime() Time {
+	if at, _, ok := e.peekHead(); ok {
+		return at
+	}
+	return maxTime
+}
+
+// peekHead returns the (at, seq) ordering key of the queue's head
+// event, settling the tiered queue's dispatch cursor first.
+func (e *Engine) peekHead() (Time, uint64, bool) {
+	if e.tiered {
+		if !e.settle() {
+			return 0, 0, false
+		}
+		ent := &e.buckets[e.curDay&bucketMask][e.curIdx]
+		return ent.at, ent.seq, true
+	}
+	if len(e.heap) == 0 {
+		return 0, 0, false
+	}
+	return e.heap[0].at, e.heap[0].seq, true
+}
 
 // Schedule arranges for fn to run delay from now. A negative delay is
 // treated as zero (run "immediately", after currently queued events at the
@@ -457,9 +589,8 @@ func (e *Engine) RunsNext(t Time, tk Ticket) bool {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunsNext in the past: %v < %v", t, e.now))
 	}
-	if len(e.heap) > 0 {
-		h := &e.heap[0]
-		if h.at < t || (h.at == t && h.seq < uint64(tk)) {
+	if at, seq, ok := e.peekHead(); ok {
+		if at < t || (at == t && seq < uint64(tk)) {
 			return false
 		}
 	}
@@ -479,7 +610,7 @@ func (e *Engine) schedule(t Time, kind EventKind, arg any) Timer {
 	return e.scheduleSeq(t, e.seq, kind, arg)
 }
 
-// scheduleSeq places (kind, arg) into the arena and heap under an
+// scheduleSeq places (kind, arg) into the arena and queue under an
 // explicit tie-break sequence number.
 func (e *Engine) scheduleSeq(t Time, seq uint64, kind EventKind, arg any) Timer {
 	if t < e.now {
@@ -488,9 +619,22 @@ func (e *Engine) scheduleSeq(t Time, seq uint64, kind EventKind, arg any) Timer 
 	si := e.allocSlot()
 	s := &e.arena[si]
 	s.arg = arg
-	e.heap = append(e.heap, heapEnt{at: t, seq: seq, slot: si, kind: kind})
-	e.siftUp(len(e.heap) - 1)
-	return Timer{e: e, slot: si, gen: s.gen}
+	gen := s.gen
+	if e.tiered {
+		e.pushTiered(heapEnt{at: t, seq: seq, slot: si, kind: kind})
+	} else {
+		e.heap = append(e.heap, heapEnt{at: t, seq: seq, slot: si, kind: kind})
+		e.siftUp(len(e.heap) - 1)
+	}
+	// Depth telemetry: one sample per scheduled event (a handful of
+	// integer ops — the counters ride in the engine and flush on Reset).
+	d := uint64(e.nearCount + len(e.heap))
+	e.qstats.depthSum += d
+	e.qstats.depthSamples++
+	if d > e.qstats.depthMax {
+		e.qstats.depthMax = d
+	}
+	return Timer{e: e, slot: si, gen: gen}
 }
 
 // allocSlot pops the free list, growing the arena only when it is empty.
@@ -526,10 +670,23 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
-		return false
+	var ent heapEnt
+	if e.tiered {
+		// The head always dispatches from the near tier: settle moves
+		// the window (migrating overflow) until the dispatch bucket
+		// holds the minimum key, then popping is a cursor increment.
+		if !e.settle() {
+			return false
+		}
+		ent = e.buckets[e.curDay&bucketMask][e.curIdx]
+		e.curIdx++
+		e.nearCount--
+	} else {
+		if len(e.heap) == 0 {
+			return false
+		}
+		ent = e.heap[0]
 	}
-	ent := e.heap[0]
 	if ent.at < e.now {
 		panic(fmt.Sprintf("sim: time went backwards: %v < %v", ent.at, e.now))
 	}
@@ -542,8 +699,11 @@ func (e *Engine) Step() bool {
 	arg := e.arena[ent.slot].arg
 	// Retire the slot before running the handler so the event can
 	// reschedule (reusing this very slot) and so its own handle is
-	// already stale inside the handler.
-	e.heapRemove(0)
+	// already stale inside the handler. (The tiered pop above already
+	// moved the cursor past the entry; only the heap needs a removal.)
+	if !e.tiered {
+		e.heapRemove(0)
+	}
 	e.freeSlot(ent.slot)
 	kindFns[ent.kind](arg)
 	e.curSeq = uint64(idleTicket)
@@ -565,7 +725,11 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	e.limit = deadline
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= deadline {
+	for !e.stopped {
+		at, _, ok := e.peekHead()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	e.limit = noRunLimit

@@ -109,11 +109,11 @@ func (le *LaneEngine) SetLane(i int, e *Engine, deadline Time) {
 	le.engs[i] = e
 	le.deadlines[i] = deadline
 	le.active++
-	if len(e.heap) == 0 || e.heap[0].at > deadline {
+	if at := e.PeekTime(); at > deadline {
 		le.done = append(le.done, i)
-		return
+	} else {
+		le.headAt[i] = at
 	}
-	le.headAt[i] = e.heap[0].at
 }
 
 // RunLaneDone dispatches merged events until one lane completes its
@@ -162,11 +162,12 @@ func (le *LaneEngine) RunLaneDone() int {
 		deadline := le.deadlines[best]
 		for {
 			e.Step()
-			if e.stopped || len(e.heap) == 0 || e.heap[0].at > deadline {
+			at := e.PeekTime()
+			if e.stopped || at > deadline {
 				le.retire(best)
 				return best
 			}
-			if at := e.heap[0].at; at-laneDrift > second {
+			if at-laneDrift > second {
 				heads[best] = at
 				break
 			}

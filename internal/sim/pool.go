@@ -15,7 +15,11 @@ var enginePool = sync.Pool{New: func() any { return New() }}
 // simulation's working set) when available. The caller owns the engine
 // exclusively until Release.
 func Acquire() *Engine {
-	return enginePool.Get().(*Engine)
+	e := enginePool.Get().(*Engine)
+	// A pooled engine may predate a SetDefaultQueue call; adopt the
+	// current process default (unless the engine is pinned).
+	e.adoptDefaultQueue()
+	return e
 }
 
 // Release resets e and returns it to the pool. The reset invalidates

@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sync/atomic"
+)
+
+// This file holds the near-horizon tier of the two-tier calendar event
+// queue and the queue-selection API. The far tier is the 4-ary
+// key-packed min-heap in engine.go (Engine.heap), which a heap-mode
+// engine uses alone and a tiered-mode engine uses as overflow storage
+// for events beyond the bucket window.
+//
+// Shape of the near tier: a ring of numBuckets time buckets, each
+// 1<<bucketBits nanoseconds of virtual time wide. An event whose
+// timestamp falls within the ring's current window is appended to its
+// bucket in O(1); a bucket is sorted by the full (at, seq) key only
+// when the dispatch cursor reaches it, so the per-event ordering cost
+// collapses from O(log n) sift work to an amortized O(1) append plus a
+// share of one small sort. Events past the window go to the overflow
+// heap and migrate into buckets as the window advances.
+
+// QueueKind selects an event-queue implementation. Both kinds dispatch
+// in the identical (at, seq) total order — every experiment byte is the
+// same under either — so the choice is purely a performance knob.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the single-tier 4-ary min-heap (O(log n) per event).
+	QueueHeap QueueKind = iota
+	// QueueTiered is the two-tier calendar queue: near-horizon bucket
+	// ring with amortized O(1) appends, heap overflow for the far
+	// future.
+	QueueTiered
+)
+
+// String names the kind as the ecfbench -queue flag spells it.
+func (k QueueKind) String() string {
+	if k == QueueTiered {
+		return "tiered"
+	}
+	return "heap"
+}
+
+// ParseQueueKind maps the -queue flag values to a QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "heap":
+		return QueueHeap, nil
+	case "tiered":
+		return QueueTiered, nil
+	}
+	return 0, fmt.Errorf("unknown queue kind %q (heap|tiered)", s)
+}
+
+// defaultQueue is the process-wide queue kind New() engines adopt (and
+// unpinned engines re-adopt at Reset/Acquire, so pooled engines follow
+// a startup-time SetDefaultQueue even if they were built earlier).
+var defaultQueue atomic.Uint32
+
+func init() { defaultQueue.Store(uint32(QueueHeap)) }
+
+// DefaultQueue returns the process-wide default queue kind.
+func DefaultQueue() QueueKind { return QueueKind(defaultQueue.Load()) }
+
+// SetDefaultQueue sets the process-wide default queue kind. Call it at
+// startup, before simulations run: engines created afterwards use it
+// immediately and unpinned pooled engines adopt it at their next Reset.
+func SetDefaultQueue(k QueueKind) { defaultQueue.Store(uint32(k)) }
+
+const (
+	// bucketBits is the log2 width of one near-tier bucket: 2^24 ns ≈
+	// 16.8 ms — several srtt at the paper's RTT scale. The sweep's event
+	// gaps are serialization- and RTT-scale (hundreds of µs to a few ms
+	// at Mbps-scale bandwidths), so wide buckets keep the window-advance
+	// machinery (recycle, migrate) off the hot path; the dispatch-time
+	// sort still stays small because the live queue is shallow (mean
+	// depth ~6.5 on the quick catalog). Swept 21–26 on the quick
+	// catalog; 24 measured fastest.
+	bucketBits = 24
+	// numBuckets is the ring length; the window spans
+	// numBuckets<<bucketBits ≈ 1.07 s of virtual time, so pacing,
+	// delayed-ACK, link-drain, and RTO timers all land in the near tier
+	// and only transfer-lifetime events overflow.
+	numBuckets = 64
+	bucketMask = numBuckets - 1
+
+	// Packed bucket locations (slot.pos for a near-tier event) are
+	// ^(ring<<locIdxBits | index): always negative, so they never
+	// collide with overflow-heap indices (>= 0). 23 index bits bound a
+	// bucket at 8M entries, far past any simulated queue depth.
+	locIdxBits = 23
+	locIdxMask = 1<<locIdxBits - 1
+
+	// tombSlot marks a cancelled entry awaiting collection at sort or
+	// dispatch time. Cancel frees the arena slot eagerly (the alloc
+	// contract is unchanged); only the 24-byte entry lingers.
+	tombSlot = int32(-1)
+)
+
+// packLoc encodes a bucket position into slot.pos.
+func packLoc(ring int64, idx int) int32 {
+	return ^int32(ring<<locIdxBits | int64(idx))
+}
+
+// day returns the absolute bucket number of a timestamp.
+func day(t Time) int64 { return int64(t) >> bucketBits }
+
+// pushTiered routes a new entry into the near or far tier. The caller
+// has already clamped ent.at to >= e.now.
+func (e *Engine) pushTiered(ent heapEnt) {
+	d := day(ent.at)
+	if d >= e.curDay+numBuckets {
+		// Far future: overflow heap, migrated in when the window
+		// reaches its day.
+		e.heap = append(e.heap, ent)
+		e.siftUp(len(e.heap) - 1)
+		e.qstats.far++
+		return
+	}
+	e.qstats.near++
+	e.nearCount++
+	if d <= e.curDay {
+		// The dispatch bucket. (d < curDay is possible when the cursor
+		// settled ahead of the clock and a handler schedules close to
+		// now — the full-key order inside the dispatch bucket absorbs
+		// it, since such an entry still sorts before every later
+		// bucket.) A sorted dispatch bucket takes a binary insert into
+		// its undispatched tail; an unsorted one takes a plain append.
+		ring := e.curDay & bucketMask
+		if e.curSorted {
+			e.insertSorted(ring, ent)
+			return
+		}
+		e.arena[ent.slot].pos = packLoc(ring, e.bucketAppend(ring, ent))
+		return
+	}
+	ring := d & bucketMask
+	e.arena[ent.slot].pos = packLoc(ring, e.bucketAppend(ring, ent))
+}
+
+// bucketAppend appends ent to a ring bucket and returns its index,
+// growing the whole ring through growBucket when the bucket is full.
+func (e *Engine) bucketAppend(ring int64, ent heapEnt) int {
+	b := e.buckets[ring]
+	if len(b) == cap(b) {
+		b = e.growBucket(ring)
+	}
+	b = append(b, ent)
+	e.buckets[ring] = b
+	return len(b) - 1
+}
+
+// growBucket doubles the shared per-bucket capacity and returns the
+// (re-based) full bucket that triggered the growth. Growing the whole
+// ring at once is what makes the steady state allocation-free: bucket
+// occupancy varies day to day, and 64 independent slices each
+// converging to their own max would keep reallocating on every new
+// per-slot record, while one shared backing array converges to the
+// global max occupancy in O(log max) re-carves — exactly like the
+// heap's single slice. The doubling amortizes the O(ring) copy away.
+func (e *Engine) growBucket(ring int64) []heapEnt {
+	nc := 2 * e.bucketCap
+	if nc < 16 {
+		nc = 16
+	}
+	e.carveBuckets(nc)
+	return e.buckets[ring]
+}
+
+// carveBuckets re-bases every ring bucket onto one shared backing array
+// at the given per-bucket capacity, preserving contents and indices (so
+// packed arena locations stay valid). Every bucket always has exactly
+// bucketCap capacity; the three-index carve keeps appends from crossing
+// into a neighbor's region.
+func (e *Engine) carveBuckets(bcap int) {
+	store := make([]heapEnt, numBuckets*bcap)
+	for i := range e.buckets {
+		nb := store[i*bcap : i*bcap : (i+1)*bcap]
+		nb = append(nb, e.buckets[i]...)
+		e.buckets[i] = nb
+	}
+	e.bucketCap = bcap
+}
+
+// insertSorted places ent into the sorted undispatched tail of the
+// dispatch bucket, keeping (at, seq) order; shifted entries get their
+// arena locations rewritten, same discipline as a heap sift.
+func (e *Engine) insertSorted(ring int64, ent heapEnt) {
+	b := e.buckets[ring]
+	lo, hi := e.curIdx, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(ent, b[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if len(b) == cap(b) {
+		b = e.growBucket(ring)
+	}
+	b = append(b, heapEnt{})
+	copy(b[lo+1:], b[lo:])
+	b[lo] = ent
+	e.buckets[ring] = b
+	for j := lo; j < len(b); j++ {
+		if s := b[j].slot; s != tombSlot {
+			e.arena[s].pos = packLoc(ring, j)
+		}
+	}
+}
+
+// settle advances the dispatch cursor to the queue's head event:
+// sorting the dispatch bucket if it has not been sorted yet, skipping
+// tombstones, recycling exhausted buckets, advancing (or, when every
+// bucket is empty, jumping) the window and migrating overflow entries
+// that the moved window now covers. After a true return the head entry
+// is buckets[curDay&bucketMask][curIdx]; false means the queue is
+// empty. Amortized O(1): every unit of settle work is paid for by one
+// scheduled event or one bucket the window passes.
+//
+// The split matters: settle is called at least twice per dispatched
+// event (peek, then pop), so the already-settled case — sorted bucket,
+// live entry under the cursor — is a two-branch inlinable check, and
+// only misses fall through to the loop in settleSlow.
+func (e *Engine) settle() bool {
+	if e.curSorted {
+		b := e.buckets[e.curDay&bucketMask]
+		if e.curIdx < len(b) && b[e.curIdx].slot != tombSlot {
+			return true
+		}
+	}
+	return e.settleSlow()
+}
+
+func (e *Engine) settleSlow() bool {
+	for {
+		ring := e.curDay & bucketMask
+		b := e.buckets[ring]
+		if !e.curSorted {
+			b = e.sortBucket(ring)
+		}
+		for e.curIdx < len(b) && b[e.curIdx].slot == tombSlot {
+			e.curIdx++
+		}
+		if e.curIdx < len(b) {
+			return true
+		}
+		// Bucket exhausted: recycle it (capacity retained) and move the
+		// window. With live near-tier entries the window advances one
+		// bucket; with none it jumps straight to the overflow head's
+		// day, so idle stretches cost O(1), not O(gap).
+		e.buckets[ring] = b[:0]
+		e.curIdx = 0
+		e.curSorted = false
+		if e.nearCount > 0 {
+			e.curDay++
+		} else if len(e.heap) > 0 {
+			e.curDay = day(e.heap[0].at)
+		} else {
+			return false
+		}
+		e.migrate()
+	}
+}
+
+// sortBucket compacts tombstones out of the dispatch bucket, sorts the
+// survivors by (at, seq) — keys are unique, so an unstable sort is
+// exact — and rewrites their arena locations in one pass.
+func (e *Engine) sortBucket(ring int64) []heapEnt {
+	b := e.buckets[ring]
+	if len(b) > 0 {
+		live := b[:0]
+		for i := range b {
+			if b[i].slot != tombSlot {
+				live = append(live, b[i])
+			}
+		}
+		b = live
+		if len(b) <= 24 {
+			// Insertion sort: bucket contents arrive largely in schedule
+			// order, which correlates with (at, seq), so short buckets
+			// are nearly sorted already.
+			for i := 1; i < len(b); i++ {
+				ent := b[i]
+				j := i
+				for j > 0 && less(ent, b[j-1]) {
+					b[j] = b[j-1]
+					j--
+				}
+				b[j] = ent
+			}
+		} else {
+			slices.SortFunc(b, func(x, y heapEnt) int {
+				if less(x, y) {
+					return -1
+				}
+				return 1
+			})
+		}
+		for i := range b {
+			e.arena[b[i].slot].pos = packLoc(ring, i)
+		}
+		e.buckets[ring] = b
+		e.qstats.sorts++
+		if n := uint64(len(b)); n > e.qstats.bucketMax {
+			e.qstats.bucketMax = n
+		}
+	}
+	e.curSorted = true
+	e.curIdx = 0
+	return b
+}
+
+// migrate drains overflow entries whose day the (just-moved) window now
+// covers into their buckets. Only settle moves the window, so migration
+// never targets a sorted dispatch bucket.
+func (e *Engine) migrate() {
+	horizon := e.curDay + numBuckets - 1
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		d := day(ent.at)
+		if d > horizon {
+			return
+		}
+		e.heapRemove(0)
+		ring := d & bucketMask
+		e.arena[ent.slot].pos = packLoc(ring, e.bucketAppend(ring, ent))
+		e.nearCount++
+		e.qstats.migrated++
+	}
+}
+
+// setQueueKind switches an (empty) engine between queue
+// implementations, allocating the bucket ring on first use of the
+// tiered kind. The ring is retained across a switch back to heap so a
+// later switch keeps its grown capacity.
+func (e *Engine) setQueueKind(k QueueKind) {
+	e.tiered = k == QueueTiered
+	if e.tiered && e.buckets == nil {
+		e.buckets = make([][]heapEnt, numBuckets)
+		e.carveBuckets(16)
+	}
+}
+
+// adoptDefaultQueue re-reads the process default for unpinned engines;
+// Reset and Acquire call it so pooled engines follow a startup-time
+// SetDefaultQueue.
+func (e *Engine) adoptDefaultQueue() {
+	if !e.pinnedQueue {
+		e.setQueueKind(DefaultQueue())
+	}
+}
+
+// Queue returns the engine's queue kind.
+func (e *Engine) Queue() QueueKind {
+	if e.tiered {
+		return QueueTiered
+	}
+	return QueueHeap
+}
+
+// queueCounters is the per-run event-queue telemetry, flushed into the
+// process totals by Reset (the pooled-lifecycle step every cell ends
+// with). Depth is sampled after every insert; the bucket counters are
+// live only on tiered engines.
+type queueCounters struct {
+	depthMax     uint64
+	depthSum     uint64
+	depthSamples uint64
+	near         uint64
+	far          uint64
+	migrated     uint64
+	sorts        uint64
+	bucketMax    uint64
+}
+
+// QueueStats aggregates event-queue telemetry across every engine run
+// flushed so far. DepthMean is DepthSum/DepthSamples.
+type QueueStats struct {
+	// DepthMax is the deepest the queue got (pending events, tombstones
+	// excluded) across all runs; DepthSum/DepthSamples accumulate one
+	// sample per scheduled event for the mean.
+	DepthMax     uint64
+	DepthSum     uint64
+	DepthSamples uint64
+	// NearScheduled/FarScheduled split scheduled events by tier;
+	// Migrated counts overflow entries pulled into buckets as the
+	// window advanced. All zero under the heap queue.
+	NearScheduled uint64
+	FarScheduled  uint64
+	Migrated      uint64
+	// BucketSorts counts dispatch-bucket sorts; BucketMax is the
+	// largest bucket ever sorted.
+	BucketSorts uint64
+	BucketMax   uint64
+}
+
+// DepthMean returns the mean queue depth over every sample, or 0 with
+// no samples.
+func (s QueueStats) DepthMean() float64 {
+	if s.DepthSamples == 0 {
+		return 0
+	}
+	return float64(s.DepthSum) / float64(s.DepthSamples)
+}
+
+var (
+	totalDepthMax     atomic.Uint64
+	totalDepthSum     atomic.Uint64
+	totalDepthSamples atomic.Uint64
+	totalNear         atomic.Uint64
+	totalFar          atomic.Uint64
+	totalMigrated     atomic.Uint64
+	totalSorts        atomic.Uint64
+	totalBucketMax    atomic.Uint64
+)
+
+// TotalQueueStats returns the process-wide queue telemetry, summed (and
+// for the maxima, maxed) over every engine run flushed so far.
+func TotalQueueStats() QueueStats {
+	return QueueStats{
+		DepthMax:      totalDepthMax.Load(),
+		DepthSum:      totalDepthSum.Load(),
+		DepthSamples:  totalDepthSamples.Load(),
+		NearScheduled: totalNear.Load(),
+		FarScheduled:  totalFar.Load(),
+		Migrated:      totalMigrated.Load(),
+		BucketSorts:   totalSorts.Load(),
+		BucketMax:     totalBucketMax.Load(),
+	}
+}
+
+// atomicMax raises a into v if it is larger.
+func atomicMax(v *atomic.Uint64, a uint64) {
+	for {
+		cur := v.Load()
+		if a <= cur || v.CompareAndSwap(cur, a) {
+			return
+		}
+	}
+}
+
+// flushQueueStats folds the run's counters into the process totals and
+// zeroes them for the next run.
+func (e *Engine) flushQueueStats() {
+	q := &e.qstats
+	if q.depthSamples != 0 {
+		totalDepthSum.Add(q.depthSum)
+		totalDepthSamples.Add(q.depthSamples)
+		atomicMax(&totalDepthMax, q.depthMax)
+	}
+	if q.near != 0 {
+		totalNear.Add(q.near)
+	}
+	if q.far != 0 {
+		totalFar.Add(q.far)
+	}
+	if q.migrated != 0 {
+		totalMigrated.Add(q.migrated)
+	}
+	if q.sorts != 0 {
+		totalSorts.Add(q.sorts)
+		atomicMax(&totalBucketMax, q.bucketMax)
+	}
+	*q = queueCounters{}
+}

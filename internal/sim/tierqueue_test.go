@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// oracleQueue is a container/heap reference ordered by the same (at, seq)
+// key the engine promises — the oracle the tiered queue is driven
+// against under randomized churn.
+type oracleQueue []oracleEvent
+
+type oracleEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+func (q oracleQueue) Len() int      { return len(q) }
+func (q oracleQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q oracleQueue) Less(a, b int) bool {
+	if q[a].at != q[b].at {
+		return q[a].at < q[b].at
+	}
+	return q[a].seq < q[b].seq
+}
+func (q *oracleQueue) Push(x any) { *q = append(*q, x.(oracleEvent)) }
+func (q *oracleQueue) Pop() any   { old := *q; n := len(old) - 1; v := old[n]; *q = old[:n]; return v }
+
+// churnModel drives one engine and the reference oracle through the
+// same randomized schedule/cancel/reserve/run workload and fails on the
+// first divergence in dispatch order, Pending, or Timer.At. The time
+// distribution deliberately mixes sub-bucket gaps, window-spanning
+// gaps, and far-future overflow times (plus occasional idle jumps past
+// the whole bucket window) so every tier transition is exercised.
+func churnModel(t *testing.T, e *Engine, rng *rand.Rand, ops int) {
+	t.Helper()
+	ref := &oracleQueue{}
+	var fired []int
+	nextID := 0
+	timers := map[int]Timer{}
+	expect := map[int]oracleEvent{}
+	schedule := func() {
+		var gap Time
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // same or next bucket
+			gap = Time(rng.Int63n(int64(2) << bucketBits))
+		case 4, 5, 6: // inside the window
+			gap = Time(rng.Int63n(int64(numBuckets) << bucketBits))
+		case 7, 8: // overflow tier
+			gap = Time(int64(numBuckets)<<bucketBits + rng.Int63n(int64(time.Second)))
+		default: // far overflow: several windows out
+			gap = Time(rng.Int63n(int64(10 * time.Second)))
+		}
+		id := nextID
+		nextID++
+		at := e.Now() + gap
+		var tm Timer
+		var seq uint64
+		if rng.Intn(4) == 0 {
+			tk := e.ReserveTicket()
+			seq = uint64(tk)
+			tm = e.AtTicket(at, tk, KindClosure, func() { fired = append(fired, id) })
+		} else {
+			tm = e.At(at, func() { fired = append(fired, id) })
+			seq = e.seq
+		}
+		timers[id] = tm
+		ev := oracleEvent{at: at, seq: seq, id: id}
+		expect[id] = ev
+		heap.Push(ref, ev)
+		if got := tm.At(); got != at {
+			t.Fatalf("op %d: Timer.At = %v right after scheduling for %v", id, got, at)
+		}
+	}
+	cancelRandom := func() {
+		for id, tm := range timers { // map order is as good a random pick as any
+			tm.Cancel()
+			if tm.Active() {
+				t.Fatalf("timer %d still Active after Cancel", id)
+			}
+			if tm.At() != 0 {
+				t.Fatalf("timer %d At = %v after Cancel, want 0", id, tm.At())
+			}
+			tm.Cancel() // double-cancel must be a no-op
+			delete(timers, id)
+			delete(expect, id)
+			for i := range *ref {
+				if (*ref)[i].id == id {
+					heap.Remove(ref, i)
+					break
+				}
+			}
+			return
+		}
+	}
+	stepBoth := func() {
+		if ref.Len() == 0 {
+			if e.Step() {
+				t.Fatal("engine stepped an event the reference does not have")
+			}
+			return
+		}
+		want := heap.Pop(ref).(oracleEvent)
+		before := len(fired)
+		if !e.Step() {
+			t.Fatalf("engine empty but reference holds %d events (next id %d at %v)", ref.Len()+1, want.id, want.at)
+		}
+		if len(fired) != before+1 || fired[len(fired)-1] != want.id {
+			t.Fatalf("dispatch order diverged: engine fired %v, reference expected id %d (at %v seq %d)",
+				fired[max(0, len(fired)-3):], want.id, want.at, want.seq)
+		}
+		delete(timers, want.id)
+	}
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			schedule()
+		case r < 7:
+			cancelRandom()
+		default:
+			stepBoth()
+		}
+		if e.Pending() != ref.Len() {
+			t.Fatalf("op %d: Pending = %d, reference holds %d", i, e.Pending(), ref.Len())
+		}
+		for id, tm := range timers {
+			if !tm.Active() {
+				t.Fatalf("op %d: timer %d inactive while the reference still holds it", i, id)
+			}
+			if tm.At() != expect[id].at {
+				t.Fatalf("op %d: timer %d At = %v, want %v", i, tm.At(), tm.At(), expect[id].at)
+			}
+			break // one spot-check per op keeps the loop O(ops)
+		}
+	}
+	// Drain: every surviving event must come out in reference order.
+	for ref.Len() > 0 {
+		stepBoth()
+	}
+	if e.Step() {
+		t.Fatal("engine not empty after draining the reference")
+	}
+}
+
+// TestTieredMatchesReferenceUnderChurn drives the tiered queue against
+// the container/heap oracle under randomized schedule/cancel/step
+// workloads spanning every tier transition (dispatch-bucket inserts,
+// window advance, overflow migration, idle window jumps).
+func TestTieredMatchesReferenceUnderChurn(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		e := NewWithQueue(QueueTiered)
+		churnModel(t, e, rand.New(rand.NewSource(seed)), 4000)
+	}
+}
+
+// TestHeapQueueMatchesReferenceUnderChurn runs the same oracle over the
+// pinned heap queue — the A/B baseline stays covered by the identical
+// workload.
+func TestHeapQueueMatchesReferenceUnderChurn(t *testing.T) {
+	for seed := int64(101); seed <= 104; seed++ {
+		e := NewWithQueue(QueueHeap)
+		churnModel(t, e, rand.New(rand.NewSource(seed)), 4000)
+	}
+}
+
+// TestTieredResetReuse churns, Resets, and churns again on the same
+// engine: the bucket ring, window cursor and telemetry must come back
+// to a clean slate while retaining capacity (the pooled-engine
+// lifecycle every sweep cell exercises).
+func TestTieredResetReuse(t *testing.T) {
+	e := NewWithQueue(QueueTiered)
+	for round := 0; round < 3; round++ {
+		churnModel(t, e, rand.New(rand.NewSource(42+int64(round))), 2000)
+		e.Reset()
+		if e.Pending() != 0 || e.Now() != 0 {
+			t.Fatalf("round %d: Reset left Pending=%d Now=%v", round, e.Pending(), e.Now())
+		}
+		if e.PeekTime() != maxTime {
+			t.Fatalf("round %d: PeekTime on empty engine = %v", round, e.PeekTime())
+		}
+	}
+}
+
+// TestTieredRunsNextAcrossTiers pins the inline-claim head comparison
+// under the tiered queue: a claim must be refused whenever any queued
+// event — bucketed or overflow — sorts before the claimed key, and
+// granted otherwise.
+func TestTieredRunsNextAcrossTiers(t *testing.T) {
+	e := NewWithQueue(QueueTiered)
+	e.limit = maxTime // simulate being inside a run loop
+
+	// Overflow-tier head: an event far past the window.
+	far := Time(int64(numBuckets+5) << bucketBits)
+	e.At(far, func() {})
+	tk := e.ReserveTicket()
+	if !e.RunsNext(far-1, tk) {
+		t.Fatal("claim before the overflow head refused")
+	}
+	tk2 := e.ReserveTicket()
+	if e.RunsNext(far+1, tk2) {
+		t.Fatal("claim past the overflow head granted")
+	}
+
+	// Near-tier head at the same timestamp: ticket order decides.
+	e2 := NewWithQueue(QueueTiered)
+	e2.limit = maxTime
+	at := Time(1000)
+	tkA := e2.ReserveTicket()
+	tkB := e2.ReserveTicket()
+	e2.AtTicket(at, tkB, KindClosure, func() {})
+	if !e2.RunsNext(at, tkA) {
+		t.Fatal("earlier-ticket claim at the queued event's timestamp refused")
+	}
+	tkC := e2.ReserveTicket()
+	if e2.RunsNext(at, tkC) {
+		t.Fatal("later-ticket claim at the queued event's timestamp granted")
+	}
+}
+
+// TestTieredPastScheduleLandsInDispatchBucket covers the d <= curDay
+// clamp: after the cursor has settled into a later bucket than day(now)
+// would suggest (an idle window jump), a handler scheduling near now
+// must still dispatch in exact (at, seq) order.
+func TestTieredPastScheduleLandsInDispatchBucket(t *testing.T) {
+	e := NewWithQueue(QueueTiered)
+	var got []int
+	// Jump the window: one event several windows out, nothing nearer.
+	far := Time(int64(3*numBuckets) << bucketBits)
+	e.At(far, func() {
+		// The cursor is now deep into the jumped-to day. Schedule three
+		// events whose days all precede curDay-relative buckets.
+		e.At(e.Now()+1, func() { got = append(got, 1) })
+		e.At(e.Now(), func() { got = append(got, 0) })
+		e.At(e.Now()+2, func() { got = append(got, 2) })
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("post-jump dispatch order = %v, want [0 1 2]", got)
+	}
+}
+
+// FuzzQueueOrdering feeds an op stream to a heap-mode and a tiered-mode
+// engine side by side: schedules (with and without reserved tickets),
+// stale-generation cancels, and steps, asserting both engines fire the
+// identical event sequence and agree on Pending. The fuzzer owns the
+// byte-to-op decoding, so crashing inputs shrink to readable op lists.
+func FuzzQueueOrdering(f *testing.F) {
+	f.Add([]byte{0x10, 0x80, 0x02, 0x41, 0xff, 0x07, 0x30})
+	f.Add([]byte{0x00, 0x00, 0xff, 0xff, 0x80, 0x80, 0x80, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		he := NewWithQueue(QueueHeap)
+		te := NewWithQueue(QueueTiered)
+		var hFired, tFired []int
+		var hTimers, tTimers []Timer
+		id := 0
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		for pos < len(data) {
+			op := next()
+			switch op % 4 {
+			case 0, 1: // schedule; gap spliced from the next two bytes
+				gap := Time(op%2)<<bucketBits*Time(next()) + Time(next())*1000
+				hid, tid := id, id
+				id++
+				if op&0x10 != 0 { // ticketed form
+					htk, ttk := he.ReserveTicket(), te.ReserveTicket()
+					hTimers = append(hTimers, he.AtTicket(he.Now()+gap, htk, KindClosure, func() { hFired = append(hFired, hid) }))
+					tTimers = append(tTimers, te.AtTicket(te.Now()+gap, ttk, KindClosure, func() { tFired = append(tFired, tid) }))
+				} else {
+					hTimers = append(hTimers, he.At(he.Now()+gap, func() { hFired = append(hFired, hid) }))
+					tTimers = append(tTimers, te.At(te.Now()+gap, func() { tFired = append(tFired, tid) }))
+				}
+			case 2: // cancel by index — stale handles included on purpose
+				if len(hTimers) > 0 {
+					i := int(next()) % len(hTimers)
+					hTimers[i].Cancel()
+					tTimers[i].Cancel()
+					if hTimers[i].Active() != tTimers[i].Active() {
+						t.Fatalf("Active diverges for timer %d after cancel", i)
+					}
+				}
+			case 3: // step both
+				if he.Step() != te.Step() {
+					t.Fatal("one engine stepped while the other was empty")
+				}
+			}
+			if he.Pending() != te.Pending() {
+				t.Fatalf("Pending diverges: heap %d, tiered %d", he.Pending(), te.Pending())
+			}
+		}
+		for he.Step() {
+			if !te.Step() {
+				t.Fatal("tiered engine ran dry before the heap engine")
+			}
+		}
+		if te.Step() {
+			t.Fatal("tiered engine still has events after the heap engine drained")
+		}
+		if len(hFired) != len(tFired) {
+			t.Fatalf("fired %d events on heap, %d on tiered", len(hFired), len(tFired))
+		}
+		for i := range hFired {
+			if hFired[i] != tFired[i] {
+				t.Fatalf("dispatch order diverges at %d: heap fired %d, tiered fired %d", i, hFired[i], tFired[i])
+			}
+		}
+	})
+}
+
+// BenchmarkEventQueueChurn pits the two queue implementations against
+// the same mixed workload at several standing depths: a rotating pool
+// of timers where each dispatch schedules a successor, one in eight
+// events is cancelled and rescheduled (arm/cancel churn), and one in
+// eight schedules far-future (overflow on the tiered queue). ns/op is
+// per event dispatched.
+func BenchmarkEventQueueChurn(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		kind QueueKind
+	}{{"heap", QueueHeap}, {"tiered", QueueTiered}} {
+		for _, depth := range []int{8, 64, 512} {
+			b.Run(fmt.Sprintf("%s/depth%d", bench.name, depth), func(b *testing.B) {
+				e := NewWithQueue(bench.kind)
+				rng := NewRNG(7)
+				var step func()
+				victim := Timer{}
+				n := 0
+				step = func() {
+					n++
+					gap := Time(50_000 + rng.Intn(4_000_000)) // 50µs..4ms
+					switch n % 8 {
+					case 3:
+						// Far-future arm + cancel churn: lands in the
+						// overflow tier on the tiered queue.
+						victim.Cancel()
+						victim = e.At(e.Now()+Time(2*int64(numBuckets))<<bucketBits, func() {})
+					case 5:
+						victim.Cancel()
+						victim = e.At(e.Now()+gap, func() {})
+					}
+					e.Schedule(gap, step)
+				}
+				for i := 0; i < depth; i++ {
+					e.At(Time(rng.Intn(4_000_000)), step)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			})
+		}
+	}
+}
